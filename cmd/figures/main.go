@@ -1,0 +1,142 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section and writes them to stdout (and optionally a results
+// directory). Run with -fast for a quick reduced-scale pass; the default
+// configuration is paper-faithful and runs every sampler at the
+// workloads' original iteration counts, which takes a while.
+//
+// Usage:
+//
+//	figures [-fast] [-only fig3,fig8] [-out results/] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bayessuite/internal/accel"
+	"bayessuite/internal/bench"
+	"bayessuite/internal/perf"
+	"bayessuite/internal/workloads"
+)
+
+// renderAccel projects every workload onto the §VII SIMD-with-special-
+// functional-units accelerator model.
+func renderAccel(h *bench.Harness, w io.Writer) {
+	fmt.Fprintln(w, "Accelerator projection (§VII): SIMD + special functional units vs one Skylake core")
+	cfg := accel.DefaultSIMD
+	fmt.Fprintf(w, "config %s: %d lanes, %d sampling units, %.0fx special-fn, %.1f GHz, %d KB scratchpad, %.0f GB/s\n",
+		cfg.Name, cfg.SIMDLanes, cfg.SamplingUnits, cfg.SpecialFnSpeedup,
+		cfg.ClockGHz, cfg.ScratchpadBytes>>10, cfg.BandwidthGBs)
+	for _, name := range workloads.Names() {
+		wl, err := workloads.New(name, 1, 7)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			continue
+		}
+		p := perf.Static(wl)
+		fmt.Fprintln(w, accel.Project(p, cfg).String())
+	}
+}
+
+func main() {
+	fast := flag.Bool("fast", false, "reduced-scale quick mode")
+	only := flag.String("only", "", "comma-separated subset (table1,table2,fig1..fig8,hmc)")
+	outDir := flag.String("out", "", "also write each experiment to <out>/<name>.txt")
+	csv := flag.Bool("csv", false, "with -out, also write fig1-fig3 as CSV for plotting")
+	verbose := flag.Bool("v", false, "progress output")
+	flag.Parse()
+
+	opt := bench.Default()
+	if *fast {
+		opt = bench.Fast()
+	}
+	opt.Verbose = *verbose
+	h := bench.New(opt)
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type experiment struct {
+		name string
+		run  func(io.Writer) error
+	}
+	experiments := []experiment{
+		{"table1", func(w io.Writer) error { bench.RenderTable1(h, w); return nil }},
+		{"table2", func(w io.Writer) error { bench.RenderTable2(h, w); return nil }},
+		{"fig1", func(w io.Writer) error { bench.RenderFig1(h, w); return nil }},
+		{"fig2", func(w io.Writer) error { bench.RenderFig2(h, w); return nil }},
+		{"fig3", func(w io.Writer) error { return bench.RenderFig3(h, w) }},
+		{"fig4", func(w io.Writer) error { return bench.RenderFig4(h, w) }},
+		{"fig5", func(w io.Writer) error { bench.RenderFig5(h, w); return nil }},
+		{"fig6", func(w io.Writer) error { bench.RenderFig6(h, w); return nil }},
+		{"fig7", func(w io.Writer) error { bench.RenderFig7(h, w); return nil }},
+		{"fig8", func(w io.Writer) error { return bench.RenderFig8(h, w) }},
+		{"hmc", func(w io.Writer) error { bench.RenderFigHMC(h, w); return nil }},
+		{"census", func(w io.Writer) error { bench.RenderCensus(h, w); return nil }},
+		{"vi", func(w io.Writer) error { bench.RenderVI(h, w); return nil }},
+		{"accel", func(w io.Writer) error { renderAccel(h, w); return nil }},
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range experiments {
+		if !selected(e.name) {
+			continue
+		}
+		var writers []io.Writer
+		writers = append(writers, os.Stdout)
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.name+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			writers = append(writers, f)
+		}
+		w := io.MultiWriter(writers...)
+		if err := e.run(w); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+		if f != nil {
+			f.Close()
+		}
+	}
+
+	if *csv && *outDir != "" {
+		writeCSV := func(name string, fn func(io.Writer) error) {
+			if !selected(name) {
+				return
+			}
+			f, err := os.Create(filepath.Join(*outDir, name+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := fn(f); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s.csv: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		writeCSV("fig1", func(w io.Writer) error { bench.RenderFig1CSV(h, w); return nil })
+		writeCSV("fig2", func(w io.Writer) error { bench.RenderFig2CSV(h, w); return nil })
+		writeCSV("fig3", func(w io.Writer) error { return bench.RenderFig3CSV(h, w) })
+	}
+}

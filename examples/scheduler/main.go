@@ -1,0 +1,47 @@
+// Scheduler: the paper's §V mechanism end-to-end through the public API.
+// Calibrates the static LLC-miss predictor on the simulated suite,
+// places every workload on its best platform, and quantifies the benefit
+// against running everything on the Broadwell server (the paper's
+// baseline, which the scheduled mix beats by ~1.16x).
+//
+// Run: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+
+	"bayessuite"
+)
+
+func main() {
+	fmt.Println("calibrating LLC-miss predictor on the simulated suite...")
+	s, err := bayessuite.CalibrateScheduler(7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("LLC-bound above %.0f KB of modeled data\n\n", s.Predictor.ThresholdKB)
+
+	var tBroadwell, tScheduled float64
+	fmt.Printf("%-10s %12s %10s %12s %12s\n",
+		"job", "modeled(KB)", "platform", "t_bdw(s)", "t_chosen(s)")
+	for _, w := range bayessuite.Suite(1.0, 7) {
+		// Profile with a short real sampler run, then characterize on
+		// both machines.
+		p := bayessuite.ProfileWorkload(w)
+		mBdw := bayessuite.Characterize(p, bayessuite.Broadwell, 4)
+		mSky := bayessuite.Characterize(p, bayessuite.Skylake, 4)
+
+		a := s.Assign(w.Info.Name, w.ModeledDataBytes())
+		chosen := mSky
+		if a.Platform.Codename == bayessuite.Broadwell.Codename {
+			chosen = mBdw
+		}
+		tBroadwell += mBdw.TimeSeconds
+		tScheduled += chosen.TimeSeconds
+		fmt.Printf("%-10s %12.1f %10s %12.1f %12.1f\n",
+			w.Info.Name, a.ModeledDataKB, a.Platform.Codename,
+			mBdw.TimeSeconds, chosen.TimeSeconds)
+	}
+	fmt.Printf("\nscheduled speedup over Broadwell-only: %.2fx (paper: 1.16x)\n",
+		tBroadwell/tScheduled)
+}

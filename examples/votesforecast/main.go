@@ -1,0 +1,77 @@
+// Votesforecast: the paper's `votes` workload as an application. Fits a
+// Gaussian process to 1976-2016 state-level presidential vote shares and
+// forecasts 2020-2028, the way the original StanCon analysis does.
+//
+// Run: go run ./examples/votesforecast
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"bayessuite"
+)
+
+func main() {
+	// A reduced-size votes instance keeps the example quick (the GP has
+	// ~11 latent values per state, so the full 50-state posterior is
+	// ~600-dimensional).
+	w, err := bayessuite.NewWorkload("votes", 0.3, 11)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("workload: %s — %s\n", w.Info.Name, w.Info.Application)
+
+	res := bayessuite.Fit(w.Model, bayessuite.Config{
+		Chains:     4,
+		Iterations: 800,
+		Seed:       11,
+		Elide:      true, // stop at convergence
+		Parallel:   true,
+	})
+	_, iters := res.Elided()
+	fmt.Printf("fitted with NUTS: stopped at %d iterations, R-hat %.3f\n\n", iters, res.MaxRHat())
+
+	// Posterior of the GP hyperparameters (sampled on the log scale).
+	sums := res.Summaries([]string{"log_amplitude", "log_lengthscale", "log_noise"})
+	for _, s := range sums[:3] {
+		fmt.Printf("%-16s mean %8.3f   (natural scale %.3f)\n", s.Name, s.Mean, math.Exp(s.Mean))
+	}
+
+	fc, ok := w.Model.(bayessuite.Forecaster)
+	if !ok {
+		panic("votes model does not forecast")
+	}
+
+	// 2020, 2024, 2028 on the model's scaled-year axis (1976 = 0, one
+	// election every 0.4 units).
+	future := []float64{4.4, 4.8, 5.2}
+	years := []string{"2020", "2024", "2028"}
+
+	fmt.Println("\nforecast: posterior probability the candidate carries the state")
+	fmt.Printf("%-8s %8s %8s %8s\n", "state", years[0], years[1], years[2])
+	draws := res.SecondHalfDraws()
+	for state := 0; state < 5; state++ {
+		wins := make([]float64, len(future))
+		n := 0
+		for c := range draws {
+			for i := 0; i < len(draws[c]); i += 8 { // thin for speed
+				traj := fc.ForecastMean(draws[c][i], state, future)
+				if traj == nil {
+					continue
+				}
+				n++
+				for k, v := range traj {
+					if v > 0 { // logit share > 0 <=> share > 50%
+						wins[k]++
+					}
+				}
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("state-%-2d %7.0f%% %7.0f%% %7.0f%%\n",
+			state, 100*wins[0]/float64(n), 100*wins[1]/float64(n), 100*wins[2]/float64(n))
+	}
+}

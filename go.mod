@@ -1,0 +1,3 @@
+module bayessuite
+
+go 1.22

@@ -1,0 +1,178 @@
+// Package accel models the accelerator directions of the paper's §VII
+// ("Implications for Future Acceleration"): a programmable SIMD
+// architecture augmented with special functional units, plus dedicated
+// sampling units for the suite's most popular distributions (Gaussian and
+// Cauchy) backed by erf/atan lookup tables with private scratchpads.
+//
+// The paper stops at qualitative guidance; this package turns it into a
+// first-order analytical projection so the guidance can be explored
+// quantitatively: given a workload profile, how much of the per-evaluation
+// work is data-parallel across observations (the acceptance-rate loop,
+// Algorithm 1 line 5), how much is inherently scalar (the sequential
+// sample dependency), and what speedup a given accelerator configuration
+// could deliver under Amdahl's law with memory limits.
+package accel
+
+import (
+	"fmt"
+
+	"bayessuite/internal/hw"
+)
+
+// Config describes a candidate accelerator in the paper's design space.
+type Config struct {
+	// Name labels the configuration.
+	Name string
+	// SIMDLanes is the data-parallel width for the per-observation
+	// likelihood work (§VII-A "Computation Parallelism").
+	SIMDLanes int
+	// SamplingUnits is the number of dedicated distribution-sampling
+	// units (§VII-A "Variable Sampling Parallelism"); they accelerate
+	// the transcendental-heavy sampling fraction.
+	SamplingUnits int
+	// SpecialFnSpeedup is the per-operation gain of the erf/atan
+	// lookup-table functional units over software evaluation.
+	SpecialFnSpeedup float64
+	// ClockGHz is the accelerator clock (typically below the CPU's).
+	ClockGHz float64
+	// ScratchpadBytes is the on-chip buffer per lane group; working sets
+	// beyond it stream from memory at BandwidthGBs (§VII-B).
+	ScratchpadBytes int64
+	// BandwidthGBs is the accelerator's memory bandwidth.
+	BandwidthGBs float64
+}
+
+// DefaultSIMD is a modest SIMD accelerator of the style §VII-A argues
+// for: wide lanes, special functional units, sampling units, and a
+// scratchpad sized to the suite's non-outlier working sets (§VII-B says
+// 2 MB/core suffices for everything but ad/survival/tickets).
+var DefaultSIMD = Config{
+	Name:             "simd-sfu",
+	SIMDLanes:        16,
+	SamplingUnits:    4,
+	SpecialFnSpeedup: 4,
+	ClockGHz:         1.5,
+	ScratchpadBytes:  4 << 20,
+	BandwidthGBs:     64,
+}
+
+// WorkSplit decomposes a workload evaluation into the paper's parallelism
+// classes. Fractions sum to 1.
+type WorkSplit struct {
+	// DataParallel is the per-observation likelihood fraction (SIMD-able).
+	DataParallel float64
+	// SpecialFn is the transcendental fraction (erf/atan/exp/log) served
+	// by special functional units and sampling units.
+	SpecialFn float64
+	// Scalar is the inherently sequential remainder (tree bookkeeping,
+	// the sample-to-sample dependency).
+	Scalar float64
+}
+
+// SplitFromProfile estimates the split from a measured profile: fused
+// edges are overwhelmingly per-observation likelihood work, nodes carry
+// the transcendental ops of transforms and distributions, and the fixed
+// per-evaluation overhead is scalar.
+func SplitFromProfile(p *hw.Profile) WorkSplit {
+	edges := float64(p.TapeEdges)
+	nodes := float64(p.TapeNodes)
+	instr := p.InstrPerEval()
+	if instr <= 0 {
+		return WorkSplit{Scalar: 1}
+	}
+	// Instruction shares by provenance (see hw.Profile.InstrPerEval).
+	dataPar := 15 * edges / instr
+	special := 15 * 2 * nodes / instr * 0.5 // about half the node work is transcendental
+	scalar := 1 - dataPar - special
+	if scalar < 0.02 {
+		scalar = 0.02
+		norm := (1 - scalar) / (dataPar + special)
+		dataPar *= norm
+		special *= norm
+	}
+	return WorkSplit{DataParallel: dataPar, SpecialFn: special, Scalar: scalar}
+}
+
+// Projection is the outcome of projecting one workload onto an
+// accelerator.
+type Projection struct {
+	Workload string
+	Split    WorkSplit
+	// ComputeSpeedup is the Amdahl-law gain at equal clock.
+	ComputeSpeedup float64
+	// Speedup is the end-to-end gain vs one Skylake core, including the
+	// clock ratio and any bandwidth throttle.
+	Speedup float64
+	// BandwidthBound reports whether the streaming working set capped
+	// the projection.
+	BandwidthBound bool
+}
+
+// Project estimates the accelerator's speedup over a single Skylake core
+// for the profiled workload.
+func Project(p *hw.Profile, cfg Config) Projection {
+	split := SplitFromProfile(p)
+
+	// Amdahl: data-parallel work over the lanes, special-function work
+	// over the LUT units (capped by sampling units), scalar untouched.
+	sfGain := cfg.SpecialFnSpeedup * float64(minInt(cfg.SamplingUnits, 4))
+	if sfGain < 1 {
+		sfGain = 1
+	}
+	denom := split.Scalar +
+		split.DataParallel/float64(maxInt(cfg.SIMDLanes, 1)) +
+		split.SpecialFn/sfGain
+	compute := 1 / denom
+
+	// Clock-adjusted speedup vs the Skylake core.
+	cpu := hw.Skylake
+	speedup := compute * cfg.ClockGHz / cpu.TurboGHz *
+		(cpu.UarchFactor / 1.0) // same base CPI assumption
+
+	// Bandwidth/scratchpad limit: the per-evaluation stream beyond the
+	// scratchpad must come from memory; if that takes longer than the
+	// compute, the projection is bandwidth-bound (§VII-B's caution
+	// against simply scaling compute).
+	bound := false
+	overflow := p.StreamBytes() - cfg.ScratchpadBytes
+	if overflow > 0 && cfg.BandwidthGBs > 0 {
+		memSec := float64(overflow) / (cfg.BandwidthGBs * 1e9)
+		accSec := p.InstrPerEval() / (compute * cfg.ClockGHz * 1e9)
+		if memSec > accSec {
+			speedup *= accSec / memSec
+			bound = true
+		}
+	}
+	return Projection{
+		Workload:       p.Name,
+		Split:          split,
+		ComputeSpeedup: compute,
+		Speedup:        speedup,
+		BandwidthBound: bound,
+	}
+}
+
+// String renders one projection row.
+func (pr Projection) String() string {
+	tag := ""
+	if pr.BandwidthBound {
+		tag = " (bandwidth-bound)"
+	}
+	return fmt.Sprintf("%-10s data-par %.0f%%  special-fn %.0f%%  scalar %.0f%%  compute %.1fx  end-to-end %.2fx%s",
+		pr.Workload, 100*pr.Split.DataParallel, 100*pr.Split.SpecialFn,
+		100*pr.Split.Scalar, pr.ComputeSpeedup, pr.Speedup, tag)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

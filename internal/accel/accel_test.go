@@ -1,0 +1,97 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"bayessuite/internal/hw"
+	"bayessuite/internal/perf"
+	"bayessuite/internal/workloads"
+)
+
+func profileFor(t *testing.T, name string) *hw.Profile {
+	t.Helper()
+	w, err := workloads.New(name, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perf.Static(w)
+}
+
+func TestSplitSumsToOne(t *testing.T) {
+	for _, name := range workloads.Names() {
+		p := profileFor(t, name)
+		s := SplitFromProfile(p)
+		sum := s.DataParallel + s.SpecialFn + s.Scalar
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: split sums to %.4f", name, sum)
+		}
+		if s.DataParallel < 0 || s.SpecialFn < 0 || s.Scalar <= 0 {
+			t.Errorf("%s: negative or zero fractions: %+v", name, s)
+		}
+	}
+}
+
+func TestRegressionWorkloadsAreDataParallel(t *testing.T) {
+	// The paper's §VII-A: the acceptance-rate loop over observations is
+	// the SIMD opportunity. Regression workloads (big fused likelihoods)
+	// must be dominated by data-parallel work.
+	for _, name := range []string{"ad", "tickets", "survival"} {
+		s := SplitFromProfile(profileFor(t, name))
+		if s.DataParallel < 0.5 {
+			t.Errorf("%s: data-parallel fraction %.2f, want dominant", name, s.DataParallel)
+		}
+	}
+}
+
+func TestProjectionSpeedupBounds(t *testing.T) {
+	for _, name := range workloads.Names() {
+		p := profileFor(t, name)
+		pr := Project(p, DefaultSIMD)
+		if pr.ComputeSpeedup < 1 {
+			t.Errorf("%s: compute speedup %.2f < 1", name, pr.ComputeSpeedup)
+		}
+		maxGain := float64(DefaultSIMD.SIMDLanes)
+		if pr.ComputeSpeedup > maxGain {
+			t.Errorf("%s: compute speedup %.2f exceeds lane count", name, pr.ComputeSpeedup)
+		}
+		if pr.Speedup <= 0 {
+			t.Errorf("%s: non-positive end-to-end speedup", name)
+		}
+	}
+}
+
+func TestMoreLanesNeverSlower(t *testing.T) {
+	p := profileFor(t, "ad")
+	narrow := DefaultSIMD
+	narrow.SIMDLanes = 4
+	wide := DefaultSIMD
+	wide.SIMDLanes = 32
+	if Project(p, wide).ComputeSpeedup < Project(p, narrow).ComputeSpeedup {
+		t.Error("wider SIMD should not reduce compute speedup")
+	}
+}
+
+func TestBandwidthBoundOnTinyScratchpad(t *testing.T) {
+	p := profileFor(t, "tickets") // multi-MB stream
+	cfg := DefaultSIMD
+	cfg.ScratchpadBytes = 64 << 10
+	cfg.BandwidthGBs = 1 // starved
+	pr := Project(p, cfg)
+	if !pr.BandwidthBound {
+		t.Error("tickets on a starved accelerator should be bandwidth-bound")
+	}
+	rich := DefaultSIMD
+	rich.ScratchpadBytes = 64 << 20
+	if Project(p, rich).BandwidthBound {
+		t.Error("huge scratchpad should not be bandwidth-bound")
+	}
+}
+
+func TestProjectionString(t *testing.T) {
+	p := profileFor(t, "votes")
+	s := Project(p, DefaultSIMD).String()
+	if !strings.Contains(s, "votes") || !strings.Contains(s, "x") {
+		t.Errorf("unhelpful projection string: %q", s)
+	}
+}

@@ -1,0 +1,76 @@
+package ad
+
+import (
+	"testing"
+
+	"bayessuite/internal/rng"
+)
+
+// BenchmarkTapeForwardReverse measures a representative GLM-shaped
+// evaluation: n dot products onto the tape plus one reverse sweep.
+func BenchmarkTapeForwardReverse(b *testing.B) {
+	const n = 1000
+	const p = 16
+	r := rng.New(1)
+	w := make([][]float64, n)
+	for i := range w {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = r.Norm()
+		}
+		w[i] = row
+	}
+	x := make([]float64, p)
+	grad := make([]float64, p)
+	tp := NewTape(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.Reset()
+		q := tp.Input(x)
+		mark := tp.BeginFused()
+		total := 0.0
+		for k := 0; k < n; k++ {
+			d := tp.Dot(q, w[k])
+			total += d.Value()
+			tp.FusedEdge(d, 1)
+		}
+		out := tp.EndFused(mark, total)
+		tp.Grad(out, grad)
+	}
+	b.ReportMetric(float64(tp.EdgeLen()), "edges/eval")
+}
+
+func BenchmarkCholeskyVar(b *testing.B) {
+	const n = 11 // the votes kernel size
+	r := rng.New(2)
+	base := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	for i := range bb {
+		bb[i] = r.Norm()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += bb[i*n+k] * bb[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			base[i*n+j] = s
+		}
+	}
+	tp := NewTape(0)
+	grad := make([]float64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.Reset()
+		q := tp.Input([]float64{1.1})
+		a := make([]Var, n*n)
+		for k := range a {
+			a[k] = tp.MulConst(q[0], base[k])
+		}
+		l := CholeskyVar(tp, a, n)
+		tp.Grad(l[n*n-1], grad)
+	}
+}

@@ -1,0 +1,76 @@
+package ad
+
+// CholeskyVar computes the lower Cholesky factor of a symmetric positive
+// definite matrix of tracked variables, recording every arithmetic step on
+// the tape. This is the differentiable path the Gaussian-process workload
+// (votes) needs: the covariance matrix is built from kernel hyperparameters
+// and its factor must carry gradients back to them.
+//
+// a is row-major with stride n; only the lower triangle is read. The result
+// is a dense n x n lower-triangular matrix of Vars (upper entries are
+// zero constants). It panics if the matrix is numerically indefinite; the
+// sampler treats the panic as a rejected proposal via its recover wrapper.
+func CholeskyVar(t *Tape, a []Var, n int) []Var {
+	if len(a) != n*n {
+		panic("ad: CholeskyVar dimension mismatch")
+	}
+	l := make([]Var, n*n)
+	zero := Const(0)
+	for i := range l {
+		l[i] = zero
+	}
+	for j := 0; j < n; j++ {
+		// d = a[j][j] - sum_k l[j][k]^2
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			v := l[j*n+k]
+			d = t.Sub(d, t.Square(v))
+		}
+		if d.Value() <= 0 {
+			panic(ErrIndefinite)
+		}
+		diag := t.Sqrt(d)
+		l[j*n+j] = diag
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s = t.Sub(s, t.Mul(l[i*n+k], l[j*n+k]))
+			}
+			l[i*n+j] = t.Div(s, diag)
+		}
+	}
+	return l
+}
+
+// ErrIndefinite is the panic value raised by CholeskyVar on indefinite
+// input. Samplers recover it and treat the proposal as having -Inf log
+// density.
+var ErrIndefinite = indefiniteError{}
+
+type indefiniteError struct{}
+
+func (indefiniteError) Error() string { return "ad: matrix not positive definite" }
+
+// MatVecVar computes y = L * x for a dense n x n matrix of Vars (row
+// major) and a vector of Vars, recording the products on the tape.
+func MatVecVar(t *Tape, l []Var, n int, x []Var) []Var {
+	if len(l) != n*n || len(x) != n {
+		panic("ad: MatVecVar dimension mismatch")
+	}
+	y := make([]Var, n)
+	for i := 0; i < n; i++ {
+		mark := t.BeginFused()
+		s := 0.0
+		for j := 0; j < n; j++ {
+			lij := l[i*n+j]
+			if lij.IsConst() && lij.Value() == 0 {
+				continue
+			}
+			s += lij.Value() * x[j].Value()
+			t.FusedEdge(lij, x[j].Value())
+			t.FusedEdge(x[j], lij.Value())
+		}
+		y[i] = t.EndFused(mark, s)
+	}
+	return y
+}

@@ -1,0 +1,270 @@
+package ad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bayessuite/internal/rng"
+)
+
+// gradCheck compares the tape gradient of f against central finite
+// differences at x.
+func gradCheck(t *testing.T, name string, f func(tp *Tape, q []Var) Var, x []float64) {
+	t.Helper()
+	tp := NewTape(0)
+	tp.Reset()
+	q := tp.Input(x)
+	out := f(tp, q)
+	grad := make([]float64, len(x))
+	tp.Grad(out, grad)
+
+	eval := func(xs []float64) float64 {
+		tp2 := NewTape(0)
+		q2 := tp2.Input(xs)
+		return f(tp2, q2).Value()
+	}
+	const h = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		fd := (eval(xp) - eval(xm)) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-5*(1+math.Abs(fd)) {
+			t.Errorf("%s: d/dx%d = %g, finite diff %g", name, i, grad[i], fd)
+		}
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(tp *Tape, q []Var) Var
+		x    float64
+	}{
+		{"exp", func(tp *Tape, q []Var) Var { return tp.Exp(q[0]) }, 0.7},
+		{"log", func(tp *Tape, q []Var) Var { return tp.Log(q[0]) }, 2.3},
+		{"log1p", func(tp *Tape, q []Var) Var { return tp.Log1p(q[0]) }, 0.4},
+		{"sqrt", func(tp *Tape, q []Var) Var { return tp.Sqrt(q[0]) }, 3.1},
+		{"square", func(tp *Tape, q []Var) Var { return tp.Square(q[0]) }, -1.2},
+		{"neg", func(tp *Tape, q []Var) Var { return tp.Neg(q[0]) }, 0.5},
+		{"invlogit", func(tp *Tape, q []Var) Var { return tp.InvLogit(q[0]) }, -0.8},
+		{"log1pexp", func(tp *Tape, q []Var) Var { return tp.Log1pExp(q[0]) }, 1.4},
+		{"log1pexp-neg", func(tp *Tape, q []Var) Var { return tp.Log1pExp(q[0]) }, -20},
+		{"tanh", func(tp *Tape, q []Var) Var { return tp.Tanh(q[0]) }, 0.9},
+		{"atan", func(tp *Tape, q []Var) Var { return tp.Atan(q[0]) }, 1.7},
+		{"erf", func(tp *Tape, q []Var) Var { return tp.Erf(q[0]) }, 0.3},
+		{"abs", func(tp *Tape, q []Var) Var { return tp.Abs(q[0]) }, -2.5},
+		{"pow2.5", func(tp *Tape, q []Var) Var { return tp.PowConst(q[0], 2.5) }, 1.3},
+		{"addconst", func(tp *Tape, q []Var) Var { return tp.AddConst(q[0], 3) }, 1.0},
+		{"mulconst", func(tp *Tape, q []Var) Var { return tp.MulConst(q[0], -2) }, 1.0},
+		{"subfrom", func(tp *Tape, q []Var) Var { return tp.SubFromConst(5, q[0]) }, 1.0},
+	}
+	for _, c := range cases {
+		gradCheck(t, c.name, c.f, []float64{c.x})
+	}
+}
+
+func TestBinaryOps(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(tp *Tape, q []Var) Var
+	}{
+		{"add", func(tp *Tape, q []Var) Var { return tp.Add(q[0], q[1]) }},
+		{"sub", func(tp *Tape, q []Var) Var { return tp.Sub(q[0], q[1]) }},
+		{"mul", func(tp *Tape, q []Var) Var { return tp.Mul(q[0], q[1]) }},
+		{"div", func(tp *Tape, q []Var) Var { return tp.Div(q[0], q[1]) }},
+	}
+	for _, c := range cases {
+		gradCheck(t, c.name, c.f, []float64{1.7, 0.6})
+	}
+}
+
+func TestComposite(t *testing.T) {
+	// f(x, y) = exp(x*y) + log(x^2 + y^2)
+	f := func(tp *Tape, q []Var) Var {
+		a := tp.Exp(tp.Mul(q[0], q[1]))
+		b := tp.Log(tp.Add(tp.Square(q[0]), tp.Square(q[1])))
+		return tp.Add(a, b)
+	}
+	gradCheck(t, "composite", f, []float64{0.8, -0.3})
+}
+
+func TestReductions(t *testing.T) {
+	w := []float64{0.5, -1.5, 2.0, 3.0}
+	gradCheck(t, "sum", func(tp *Tape, q []Var) Var { return tp.Sum(q) }, []float64{1, 2, 3, 4})
+	gradCheck(t, "dot", func(tp *Tape, q []Var) Var { return tp.Dot(q, w) }, []float64{1, 2, 3, 4})
+	gradCheck(t, "sumsq", func(tp *Tape, q []Var) Var { return tp.SumSquares(q) }, []float64{1, -2, 3, -4})
+	gradCheck(t, "dotvv", func(tp *Tape, q []Var) Var {
+		return tp.DotVV(q[:2], q[2:])
+	}, []float64{1, 2, 3, 4})
+}
+
+func TestConstantsProduceNoGradient(t *testing.T) {
+	tp := NewTape(0)
+	q := tp.Input([]float64{2})
+	c := Const(3)
+	out := tp.Mul(tp.Add(q[0], c), c) // (x+3)*3
+	if out.Value() != 15 {
+		t.Fatalf("value %g", out.Value())
+	}
+	grad := make([]float64, 1)
+	tp.Grad(out, grad)
+	if grad[0] != 3 {
+		t.Errorf("gradient %g want 3", grad[0])
+	}
+	// Pure constant chain stays constant.
+	cc := tp.Exp(tp.Mul(c, c))
+	if !cc.IsConst() {
+		t.Error("op over constants should be constant")
+	}
+}
+
+func TestGradOfConstIsZero(t *testing.T) {
+	tp := NewTape(0)
+	tp.Input([]float64{1, 2})
+	grad := []float64{9, 9}
+	tp.Grad(Const(5), grad)
+	if grad[0] != 0 || grad[1] != 0 {
+		t.Error("constant output should have zero gradient")
+	}
+}
+
+func TestTapeReuseAcrossEvaluations(t *testing.T) {
+	tp := NewTape(0)
+	for trial := 0; trial < 5; trial++ {
+		tp.Reset()
+		x := float64(trial + 1)
+		q := tp.Input([]float64{x})
+		out := tp.Square(q[0])
+		grad := make([]float64, 1)
+		tp.Grad(out, grad)
+		if grad[0] != 2*x {
+			t.Fatalf("trial %d: grad %g want %g", trial, grad[0], 2*x)
+		}
+	}
+}
+
+func TestInputPanicsOnDirtyTape(t *testing.T) {
+	tp := NewTape(0)
+	tp.Input([]float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Input on dirty tape should panic")
+		}
+	}()
+	tp.Input([]float64{2})
+}
+
+func TestFanOutAccumulatesAdjoints(t *testing.T) {
+	// f(x) = x*x + x (x used three times): f'(x) = 2x + 1.
+	tp := NewTape(0)
+	q := tp.Input([]float64{3})
+	out := tp.Add(tp.Mul(q[0], q[0]), q[0])
+	grad := make([]float64, 1)
+	tp.Grad(out, grad)
+	if grad[0] != 7 {
+		t.Errorf("grad %g want 7", grad[0])
+	}
+}
+
+func TestCholeskyVarMatchesFloat(t *testing.T) {
+	// d/dtheta of L(theta*A)[i][j] should match finite differences; also
+	// values should match a plain Cholesky.
+	r := rng.New(9)
+	n := 5
+	base := make([]float64, n*n)
+	// SPD base: B B^T + n I.
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b[i*n+k] * b[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			base[i*n+j] = s
+		}
+	}
+
+	f := func(tp *Tape, q []Var) Var {
+		a := make([]Var, n*n)
+		for i := range a {
+			a[i] = tp.MulConst(q[0], base[i])
+		}
+		l := CholeskyVar(tp, a, n)
+		// Sum of the factor's entries as a scalar output.
+		var lower []Var
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				lower = append(lower, l[i*n+j])
+			}
+		}
+		return tp.Sum(lower)
+	}
+	gradCheck(t, "choleskyvar", f, []float64{1.3})
+}
+
+func TestCholeskyVarPanicsIndefinite(t *testing.T) {
+	tp := NewTape(0)
+	q := tp.Input([]float64{1})
+	a := []Var{q[0], Const(2), Const(2), q[0]} // [[1,2],[2,1]] indefinite
+	defer func() {
+		if r := recover(); r != ErrIndefinite {
+			t.Errorf("expected ErrIndefinite, got %v", r)
+		}
+	}()
+	CholeskyVar(tp, a, 2)
+}
+
+func TestMatVecVar(t *testing.T) {
+	f := func(tp *Tape, q []Var) Var {
+		l := []Var{q[0], Const(0), q[1], q[2]} // 2x2 lower
+		y := MatVecVar(tp, l, 2, q[3:5])
+		return tp.Add(y[0], tp.MulConst(y[1], 2))
+	}
+	gradCheck(t, "matvec", f, []float64{1.2, -0.7, 2.1, 0.4, 0.9})
+}
+
+// TestGradLinearity is a property test: gradient of a*f + b*g equals
+// a*grad f + b*grad g.
+func TestGradLinearity(t *testing.T) {
+	err := quick.Check(func(x0, x1 float64, a8, b8 int8) bool {
+		if math.IsNaN(x0) || math.IsNaN(x1) || math.IsInf(x0, 0) || math.IsInf(x1, 0) {
+			return true
+		}
+		x0 = math.Mod(x0, 3)
+		x1 = math.Mod(x1, 3)
+		a := float64(a8 % 5)
+		b := float64(b8 % 5)
+		grad := func(build func(tp *Tape, q []Var) Var) []float64 {
+			tp := NewTape(0)
+			q := tp.Input([]float64{x0, x1})
+			g := make([]float64, 2)
+			tp.Grad(build(tp, q), g)
+			return g
+		}
+		fg := func(tp *Tape, q []Var) Var { return tp.Mul(q[0], q[1]) }
+		gg := func(tp *Tape, q []Var) Var { return tp.Add(tp.Square(q[0]), q[1]) }
+		comb := func(tp *Tape, q []Var) Var {
+			return tp.Add(tp.MulConst(fg(tp, q), a), tp.MulConst(gg(tp, q), b))
+		}
+		gf, ggrad, gc := grad(fg), grad(gg), grad(comb)
+		for i := 0; i < 2; i++ {
+			want := a*gf[i] + b*ggrad[i]
+			if math.Abs(gc[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

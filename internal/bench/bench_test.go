@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// fastHarness is shared across tests in this package; the harness caches
+// profiles and runs internally, so reuse keeps the test binary quick.
+var shared *Harness
+
+func harness(t *testing.T) *Harness {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("bench harness tests skipped in -short mode")
+	}
+	// Under `go test -bench`, the repository-root figure benchmarks
+	// already fill and exercise this harness; re-running the multi-minute
+	// shape tests in the same invocation would double the wall time for
+	// no extra coverage.
+	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
+		t.Skip("figure shape tests skipped while benchmarking; the root benchmarks cover the harness")
+	}
+	if shared == nil {
+		shared = New(Fast())
+	}
+	return shared
+}
+
+func TestTable1HasAllWorkloads(t *testing.T) {
+	h := harness(t)
+	rows := h.Table1()
+	if len(rows) != 10 {
+		t.Fatalf("Table I has %d rows, want 10", len(rows))
+	}
+	var buf bytes.Buffer
+	RenderTable1(h, &buf)
+	for _, name := range []string{"12cities", "tickets", "survival"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("Table I output missing %s", name)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	h := harness(t)
+	rows := h.Table2()
+	if len(rows) != 2 {
+		t.Fatalf("Table II has %d rows, want 2", len(rows))
+	}
+	if rows[0].Codename != "Skylake" || rows[0].LLCBytes != 8<<20 || rows[0].Cores != 4 {
+		t.Errorf("Skylake row wrong: %+v", rows[0])
+	}
+	if rows[1].Codename != "Broadwell" || rows[1].LLCBytes != 40<<20 || rows[1].Cores != 16 {
+		t.Errorf("Broadwell row wrong: %+v", rows[1])
+	}
+}
+
+// TestFig1Shapes asserts the single-core characterization shapes the
+// paper reports: benign architectural behavior overall, tickets the
+// outlier in i-cache and LLC MPKI, votes the IPC leader at ~1.7x
+// butterfly.
+func TestFig1Shapes(t *testing.T) {
+	h := harness(t)
+	rows := h.Fig1()
+	byName := map[string]Fig1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	votes, butterfly, tickets := byName["votes"], byName["butterfly"], byName["tickets"]
+	if ratio := votes.IPC / butterfly.IPC; ratio < 1.4 || ratio > 2.1 {
+		t.Errorf("votes/butterfly IPC ratio %.2f, paper ~1.7", ratio)
+	}
+	for _, r := range rows {
+		if r.Name == "tickets" {
+			continue
+		}
+		if r.ICacheMPKI >= tickets.ICacheMPKI {
+			t.Errorf("%s i-cache MPKI %.2f >= tickets %.2f", r.Name, r.ICacheMPKI, tickets.ICacheMPKI)
+		}
+		if r.LLCMPKI >= tickets.LLCMPKI {
+			t.Errorf("%s LLC MPKI %.2f >= tickets %.2f", r.Name, r.LLCMPKI, tickets.LLCMPKI)
+		}
+	}
+	if tickets.LLCMPKI < 3 {
+		t.Errorf("tickets 1-core LLC MPKI %.2f, paper 7.7 (want the outlier)", tickets.LLCMPKI)
+	}
+}
+
+// TestFig2Shapes asserts the multicore story: ad, survival, and tickets
+// have >1 MPKI at 4 cores and sub-2x max speedup; the rest scale past 2x.
+func TestFig2Shapes(t *testing.T) {
+	h := harness(t)
+	rows := h.Fig2()
+	bound := map[string]bool{"ad": true, "survival": true, "tickets": true}
+	for _, r := range rows {
+		sp4 := r.Speedup[2]
+		mpki4 := r.LLCMPKI[2]
+		if bound[r.Name] {
+			if mpki4 < 1 {
+				t.Errorf("%s 4-core MPKI %.2f, want > 1 (LLC-bound)", r.Name, mpki4)
+			}
+			if sp4 >= 2.6 {
+				t.Errorf("%s speedup@4 %.2f, want saturated (paper < 2)", r.Name, sp4)
+			}
+		} else {
+			if mpki4 >= 1 {
+				t.Errorf("%s 4-core MPKI %.2f, want < 1", r.Name, mpki4)
+			}
+			if sp4 < 2.0 {
+				t.Errorf("%s speedup@4 %.2f, want scaling", r.Name, sp4)
+			}
+			if sp4 > 4.001 {
+				t.Errorf("%s speedup@4 %.2f > 4 (impossible)", r.Name, sp4)
+			}
+		}
+	}
+}
+
+// TestFig3PredictorSeparates asserts the paper's §V-A result: modeled
+// data size separates the LLC-bound workloads with a threshold, and the
+// linear fit tracks the >= 1 MPKI points.
+func TestFig3PredictorSeparates(t *testing.T) {
+	h := harness(t)
+	res, err := h.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 30 {
+		t.Fatalf("expected 10 workloads x 3 scales = 30 points, got %d", len(res.Points))
+	}
+	pred := res.Predictor
+	bound := map[string]bool{"ad": true, "survival": true, "tickets": true}
+	for _, name := range []string{"ad", "survival", "tickets", "12cities", "votes", "memory"} {
+		w := h.workload(name)
+		kb := float64(w.ModeledDataBytes()) / 1024
+		if got := pred.LLCBound(kb); got != bound[name] {
+			t.Errorf("%s (%.0f KB): LLCBound=%v, want %v (threshold %.0f KB)",
+				name, kb, got, bound[name], pred.ThresholdKB)
+		}
+	}
+}
+
+// TestFig4ScheduledSpeedup asserts Broadwell wins exactly the LLC-bound
+// trio and the scheduled mix beats Broadwell-only.
+func TestFig4ScheduledSpeedup(t *testing.T) {
+	h := harness(t)
+	res, err := h.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := map[string]bool{"ad": true, "survival": true, "tickets": true}
+	for _, r := range res.Rows {
+		wantBdw := bound[r.Name]
+		if (r.Assigned == "Broadwell") != wantBdw {
+			t.Errorf("%s assigned to %s", r.Name, r.Assigned)
+		}
+		if wantBdw && r.SpeedupOverBroadwell >= 1 {
+			t.Errorf("%s: Skylake should lose to Broadwell, speedup %.2f", r.Name, r.SpeedupOverBroadwell)
+		}
+		if !wantBdw && r.SpeedupOverBroadwell <= 1 {
+			t.Errorf("%s: Skylake should beat Broadwell, speedup %.2f", r.Name, r.SpeedupOverBroadwell)
+		}
+	}
+	if res.ScheduledSpeedup <= 1.02 || res.ScheduledSpeedup > 2.5 {
+		t.Errorf("scheduled speedup %.2f out of plausible range (paper 1.16)", res.ScheduledSpeedup)
+	}
+}
+
+// TestFig5Convergence asserts the elision story on 12cities: it
+// converges well before the user iteration count and KL decreases.
+func TestFig5Convergence(t *testing.T) {
+	h := harness(t)
+	res := h.Fig5()
+	if res.ConvergedAt == 0 {
+		t.Fatal("12cities never converged")
+	}
+	if res.IterationSavings < 0.2 {
+		t.Errorf("iteration savings %.2f, want substantial (paper 0.70)", res.IterationSavings)
+	}
+	if res.ChainImbalance <= 1.0 {
+		t.Errorf("chain imbalance %.2f, want > 1 (paper 1.7)", res.ChainImbalance)
+	}
+	// KL at the end should be below KL near the start.
+	if len(res.KL) >= 4 {
+		early, late := res.KL[0], res.KL[len(res.KL)-1]
+		if late >= early {
+			t.Errorf("KL did not decrease: %.4f -> %.4f", early, late)
+		}
+	}
+}
+
+// TestFig7EnergySavings asserts meaningful average energy savings.
+func TestFig7EnergySavings(t *testing.T) {
+	h := harness(t)
+	rows := h.Fig7()
+	if len(rows) != 20 {
+		t.Fatalf("expected 10 workloads x 2 platforms, got %d", len(rows))
+	}
+	var avg float64
+	for _, r := range rows {
+		if r.ChosenEnergyJ > r.UserEnergyJ*1.001 {
+			t.Errorf("%s/%s: chosen energy exceeds user energy", r.Name, r.Platform)
+		}
+		if r.OracleEnergyJ > r.ChosenEnergyJ*1.001 {
+			t.Errorf("%s/%s: oracle worse than chosen", r.Name, r.Platform)
+		}
+		avg += r.SavingsPct
+	}
+	avg /= float64(len(rows))
+	if avg < 15 {
+		t.Errorf("average energy saving %.0f%%, want substantial (paper ~70%%)", avg)
+	}
+}
+
+// TestFig8OverallSpeedup asserts the combined mechanism beats the
+// baseline on average and the oracle is at least as good overall.
+func TestFig8OverallSpeedup(t *testing.T) {
+	h := harness(t)
+	res, err := h.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AverageSpeedup <= 1.2 {
+		t.Errorf("average speedup %.2f, want clearly > 1 (paper 5.8)", res.AverageSpeedup)
+	}
+	if res.OracleAverage < res.AverageSpeedup*0.9 {
+		t.Errorf("oracle average %.2f far below proposed %.2f", res.OracleAverage, res.AverageSpeedup)
+	}
+	for _, r := range res.Rows {
+		if r.Speedup <= 0 {
+			t.Errorf("%s: non-positive speedup", r.Name)
+		}
+	}
+}
+
+// TestFig6DSE asserts the DSE finds an oracle no worse than the user
+// setting and produces elision triangles.
+func TestFig6DSE(t *testing.T) {
+	h := harness(t)
+	for _, r := range h.Fig6() {
+		if len(r.Space.Points) == 0 {
+			t.Fatalf("%s: empty design space", r.Workload)
+		}
+		if r.Space.Oracle.EnergyJoules > r.Space.User.EnergyJoules*1.001 {
+			t.Errorf("%s: oracle energy %.0f > user %.0f",
+				r.Workload, r.Space.Oracle.EnergyJoules, r.Space.User.EnergyJoules)
+		}
+		if len(r.Space.Elision) == 0 {
+			t.Errorf("%s: no elision points (detector never fired)", r.Workload)
+		}
+	}
+}
+
+// TestRendersProduceOutput smoke-tests every render function.
+func TestRendersProduceOutput(t *testing.T) {
+	h := harness(t)
+	var buf bytes.Buffer
+	RenderTable1(h, &buf)
+	RenderTable2(h, &buf)
+	RenderFig1(h, &buf)
+	RenderFig2(h, &buf)
+	if err := RenderFig3(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderFig4(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	RenderFig5(h, &buf)
+	RenderFig6(h, &buf)
+	RenderFig7(h, &buf)
+	if err := RenderFig8(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 2000 {
+		t.Errorf("rendered output suspiciously small: %d bytes", buf.Len())
+	}
+
+	// CSV variants parse as one record per line with a stable column
+	// count.
+	var csv bytes.Buffer
+	RenderFig1CSV(h, &csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 11 { // header + 10 workloads
+		t.Errorf("fig1 CSV has %d lines", len(lines))
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, l := range lines {
+		if strings.Count(l, ",") != cols {
+			t.Errorf("fig1 CSV line %d has inconsistent columns", i)
+		}
+	}
+	csv.Reset()
+	if err := RenderFig3CSV(h, &csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(csv.String()), "\n")); got != 31 {
+		t.Errorf("fig3 CSV has %d lines, want 31", got)
+	}
+}

@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bayessuite/internal/elide"
+	"bayessuite/internal/plot"
+)
+
+// table is a minimal aligned-text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[minInt(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// csv renders the same rows as comma-separated values.
+func (t *table) writeCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, 0, len(t.header))
+	for _, h := range t.header {
+		cells = append(cells, esc(h))
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, r := range t.rows {
+		cells = cells[:0]
+		for _, c := range r {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Render functions: produce the paper's rows/series as text.
+
+// RenderTable1 writes the Table I summary.
+func RenderTable1(h *Harness, w io.Writer) {
+	t := newTable("Name", "Model", "Application", "Reference", "Iterations", "ModeledKB")
+	for _, info := range h.Table1() {
+		wl := h.workload(info.Name)
+		t.addf("%s\t%s\t%s\t%s\t%d\t%.1f",
+			info.Name, info.Family, info.Application, info.Source,
+			info.Iterations, float64(wl.ModeledDataBytes())/1024)
+	}
+	fmt.Fprintln(w, "Table I: BayesSuite workloads")
+	t.write(w)
+}
+
+// RenderTable2 writes the Table II platform summary.
+func RenderTable2(h *Harness, w io.Writer) {
+	t := newTable("Codename", "Processor", "Microarch", "Tech(nm)", "Turbo(GHz)", "Cores", "LLC(MB)", "BW(GB/s)", "TDP(W)")
+	for _, p := range h.Table2() {
+		t.addf("%s\t%s\t%s\t%d\t%.1f\t%d\t%d\t%.1f\t%.0f",
+			p.Codename, p.Processor, p.Microarch, p.TechNM, p.TurboGHz,
+			p.Cores, p.LLCBytes>>20, p.BandwidthGBs, p.TDPWatts)
+	}
+	fmt.Fprintln(w, "Table II: experiment platforms")
+	t.write(w)
+}
+
+func fig1Table(h *Harness) *table {
+	t := newTable("Workload", "IPC", "I$ MPKI", "Br MPKI", "LLC MPKI", "BW(MB/s)", "Time(s)")
+	for _, r := range h.Fig1() {
+		t.addf("%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.0f\t%.1f",
+			r.Name, r.IPC, r.ICacheMPKI, r.BranchMPKI, r.LLCMPKI, r.BandwidthMBs, r.TimeSeconds)
+	}
+	return t
+}
+
+// RenderFig1 writes the single-core runtime statistics.
+func RenderFig1(h *Harness, w io.Writer) {
+	fmt.Fprintln(w, "Figure 1: single-core (Skylake) runtime statistics")
+	fig1Table(h).write(w)
+}
+
+// RenderFig1CSV writes the Figure 1 series as CSV for plotting.
+func RenderFig1CSV(h *Harness, w io.Writer) { fig1Table(h).writeCSV(w) }
+
+// RenderFigHMC writes the §IV-A HMC-vs-NUTS single-core comparison.
+func RenderFigHMC(h *Harness, w io.Writer) {
+	nuts, hmc := h.FigHMC()
+	t := newTable("Workload", "NUTS IPC", "HMC IPC", "NUTS LLC", "HMC LLC", "NUTS t(s)", "HMC t(s)")
+	for i := range nuts {
+		t.addf("%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%.1f",
+			nuts[i].Name, nuts[i].IPC, hmc[i].IPC,
+			nuts[i].LLCMPKI, hmc[i].LLCMPKI,
+			nuts[i].TimeSeconds, hmc[i].TimeSeconds)
+	}
+	fmt.Fprintln(w, "HMC aside (§IV-A): single-core characteristics, HMC vs NUTS")
+	t.write(w)
+}
+
+func fig2Table(h *Harness) *table {
+	t := newTable("Workload", "IPC@1", "IPC@2", "IPC@4", "MPKI@1", "MPKI@2", "MPKI@4", "Spd@2", "Spd@4")
+	for _, r := range h.Fig2() {
+		t.addf("%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f",
+			r.Name, r.IPC[0], r.IPC[1], r.IPC[2],
+			r.LLCMPKI[0], r.LLCMPKI[1], r.LLCMPKI[2],
+			r.Speedup[1], r.Speedup[2])
+	}
+	return t
+}
+
+// RenderFig2 writes the multicore scaling series.
+func RenderFig2(h *Harness, w io.Writer) {
+	fmt.Fprintln(w, "Figure 2: Skylake multicore scaling (4 chains; sorted by 4-core LLC MPKI)")
+	fig2Table(h).write(w)
+}
+
+// RenderFig2CSV writes the Figure 2 series as CSV for plotting.
+func RenderFig2CSV(h *Harness, w io.Writer) { fig2Table(h).writeCSV(w) }
+
+func fig3Table(h *Harness) (*table, *Fig3Result, error) {
+	res, err := h.Fig3()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := newTable("Point", "ModeledKB", "LLC MPKI", "Predicted")
+	for _, p := range res.Points {
+		t.addf("%s\t%.1f\t%.2f\t%.2f",
+			p.Label, p.ModeledDataKB, p.LLCMPKI, res.Predictor.Predict(p.ModeledDataKB))
+	}
+	return t, res, nil
+}
+
+// RenderFig3 writes the LLC miss prediction scatter and fit.
+func RenderFig3(h *Harness, w io.Writer) error {
+	t, res, err := fig3Table(h)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 3: 4-core LLC MPKI vs modeled data size (with -h/-q variants)")
+	t.write(w)
+	fmt.Fprintf(w, "fit: MPKI = %.4f * KB + %.3f; LLC-bound threshold = %.0f KB; max rel err above 1 MPKI = %.0f%%\n",
+		res.Predictor.Slope, res.Predictor.Intercept, res.Predictor.ThresholdKB, 100*res.MaxRelErrAbove1)
+
+	// The paper's scatter, log-log, with the 1-MPKI regime line.
+	var bound, rest plot.Series
+	bound = plot.Series{Name: "MPKI >= 1", Marker: 'O'}
+	rest = plot.Series{Name: "MPKI < 1", Marker: '.'}
+	for _, p := range res.Points {
+		if p.LLCMPKI >= 1 {
+			bound.X = append(bound.X, p.ModeledDataKB)
+			bound.Y = append(bound.Y, p.LLCMPKI)
+		} else {
+			rest.X = append(rest.X, p.ModeledDataKB)
+			rest.Y = append(rest.Y, p.LLCMPKI)
+		}
+	}
+	floor := 1.0
+	ch := &plot.Chart{
+		Title:  "modeled data size (KB, log) vs 4-core LLC MPKI (log)",
+		XLabel: "modeled KB",
+		YLabel: "MPKI",
+		LogX:   true, LogY: true,
+		HLine: &floor,
+	}
+	ch.Add(rest)
+	ch.Add(bound)
+	ch.Render(w)
+	return nil
+}
+
+// RenderFig3CSV writes the Figure 3 scatter as CSV for plotting.
+func RenderFig3CSV(h *Harness, w io.Writer) error {
+	t, _, err := fig3Table(h)
+	if err != nil {
+		return err
+	}
+	t.writeCSV(w)
+	return nil
+}
+
+// RenderFig4 writes the platform comparison.
+func RenderFig4(h *Harness, w io.Writer) error {
+	res, err := h.Fig4()
+	if err != nil {
+		return err
+	}
+	t := newTable("Workload", "Spd(Sky/Bdw)", "IPC Sky", "IPC Bdw", "MPKI Sky", "MPKI Bdw", "Assigned")
+	for _, r := range res.Rows {
+		t.addf("%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%s",
+			r.Name, r.SpeedupOverBroadwell, r.IPCSkylake, r.IPCBroadwell,
+			r.MPKISkylake, r.MPKIBroadwell, r.Assigned)
+	}
+	fmt.Fprintln(w, "Figure 4: 4-core platform comparison")
+	t.write(w)
+	fmt.Fprintf(w, "scheduled speedup over Broadwell-only: %.2fx (paper: 1.16x)\n", res.ScheduledSpeedup)
+	return nil
+}
+
+// RenderFig5 writes the 12cities convergence study.
+func RenderFig5(h *Harness, w io.Writer) {
+	res := h.Fig5()
+	t := newTable("Iteration", "RHat", "KL")
+	for i := range res.Iterations {
+		t.addf("%d\t%.3f\t%.4f", res.Iterations[i], res.RHat[i], res.KL[i])
+	}
+	fmt.Fprintf(w, "Figure 5: convergence of %s (user setting %d iterations)\n",
+		res.Workload, res.UserIterations)
+	t.write(w)
+	fmt.Fprintf(w, "converged at %d iterations: %.0f%% iterations elided, %.0f%% latency saved; slowest/fastest chain = %.2f\n",
+		res.ConvergedAt, 100*res.IterationSavings, 100*res.LatencySavings, res.ChainImbalance)
+
+	// The paper's Figure 5 in log scale: R-hat trace with the 1.1
+	// threshold, KL trace alongside.
+	xs := make([]float64, len(res.Iterations))
+	for i, it := range res.Iterations {
+		xs[i] = float64(it)
+	}
+	threshold := elide.DefaultThreshold
+	rhat := &plot.Chart{
+		Title:  "R-hat over iterations (log y); dashes mark the 1.1 threshold",
+		XLabel: "iteration",
+		YLabel: "R-hat",
+		LogY:   true,
+		HLine:  &threshold,
+	}
+	rhat.Add(plot.Series{Name: "R-hat", Marker: '*', X: xs, Y: res.RHat})
+	rhat.Render(w)
+
+	kl := &plot.Chart{
+		Title:  "KL divergence to ground truth (log y)",
+		XLabel: "iteration",
+		YLabel: "KL",
+		LogY:   true,
+	}
+	kl.Add(plot.Series{Name: "KL", Marker: '+', X: xs, Y: res.KL})
+	kl.Render(w)
+}
+
+// RenderFig6 writes the DSE examples.
+func RenderFig6(h *Harness, w io.Writer) {
+	for _, r := range h.Fig6() {
+		fmt.Fprintf(w, "Figure 6: design space of %s (Skylake)\n", r.Workload)
+		t := newTable("Kind", "Cores", "Chains", "Iters", "Latency(s)", "Energy(J)", "KL", "OK")
+		for _, p := range r.Space.Points {
+			t.addf("%s\t%d\t%d\t%d\t%.1f\t%.0f\t%.4f\t%v",
+				p.Kind, p.Cores, p.Chains, p.Iterations, p.LatencySeconds, p.EnergyJoules, p.KL, p.Acceptable)
+		}
+		u := r.Space.User
+		t.addf("%s\t%d\t%d\t%d\t%.1f\t%.0f\t%.4f\t%v",
+			u.Kind, u.Cores, u.Chains, u.Iterations, u.LatencySeconds, u.EnergyJoules, u.KL, u.Acceptable)
+		for _, p := range r.Space.Elision {
+			t.addf("%s\t%d\t%d\t%d\t%.1f\t%.0f\t%.4f\t%v",
+				p.Kind, p.Cores, p.Chains, p.Iterations, p.LatencySeconds, p.EnergyJoules, p.KL, p.Acceptable)
+		}
+		o := r.Space.Oracle
+		t.addf("%s\t%d\t%d\t%d\t%.1f\t%.0f\t%.4f\t%v",
+			o.Kind, o.Cores, o.Chains, o.Iterations, o.LatencySeconds, o.EnergyJoules, o.KL, o.Acceptable)
+		t.write(w)
+	}
+}
+
+// RenderFig7 writes the energy savings summary.
+func RenderFig7(h *Harness, w io.Writer) {
+	rows := h.Fig7()
+	t := newTable("Workload", "Platform", "User(J)", "Chosen(J)", "Oracle(J)", "Savings%", "Oracle%")
+	var avg float64
+	for _, r := range rows {
+		t.addf("%s\t%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f",
+			r.Name, r.Platform, r.UserEnergyJ, r.ChosenEnergyJ, r.OracleEnergyJ, r.SavingsPct, r.OraclePct)
+		avg += r.SavingsPct
+	}
+	fmt.Fprintln(w, "Figure 7: energy savings vs user settings")
+	t.write(w)
+	fmt.Fprintf(w, "average energy saving: %.0f%% (paper: ~70%%)\n", avg/float64(len(rows)))
+}
+
+// RenderVI writes the §II-B sampling-vs-variational comparison.
+func RenderVI(h *Harness, w io.Writer) {
+	t := newTable("Workload", "NUTS evals", "ADVI evals", "Work ratio", "KL(ADVI || NUTS)")
+	for _, r := range h.FigVI() {
+		t.addf("%s\t%d\t%d\t%.1fx\t%.4f",
+			r.Name, r.NUTSGradEvals, r.VIGradEvals,
+			float64(r.NUTSGradEvals)/float64(r.VIGradEvals), r.KL)
+	}
+	fmt.Fprintln(w, "Sampling vs variational inference (§II-B): ADVI is cheaper but biased")
+	t.write(w)
+}
+
+// RenderCensus writes the §VII-A distribution census.
+func RenderCensus(h *Harness, w io.Writer) {
+	t := newTable("Distribution", "Workloads")
+	for _, r := range h.DistributionCensus() {
+		t.addf("%s\t%d", r.Distribution, r.Workloads)
+	}
+	fmt.Fprintln(w, "Distribution census (§VII-A): usage across the suite")
+	t.write(w)
+}
+
+// RenderFig8 writes the overall speedup summary.
+func RenderFig8(h *Harness, w io.Writer) error {
+	res, err := h.Fig8()
+	if err != nil {
+		return err
+	}
+	t := newTable("Workload", "Baseline(s)", "Proposed(s)", "Platform", "Speedup", "Oracle")
+	for _, r := range res.Rows {
+		t.addf("%s\t%.1f\t%.1f\t%s\t%.2f\t%.2f",
+			r.Name, r.BaselineSeconds, r.ProposedSeconds, r.Platform, r.Speedup, r.OracleSpeedup)
+	}
+	fmt.Fprintln(w, "Figure 8: overall speedup over the Broadwell baseline")
+	t.write(w)
+	fmt.Fprintf(w, "average speedup: %.2fx (paper: 5.8x); oracle average: %.2fx (paper: 6.2x)\n",
+		res.AverageSpeedup, res.OracleAverage)
+	return nil
+}

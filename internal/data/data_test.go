@@ -1,0 +1,103 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bayessuite/internal/rng"
+)
+
+func TestScale(t *testing.T) {
+	if Scale(100, 1) != 100 || Scale(100, 0.5) != 50 || Scale(100, 0.25) != 25 {
+		t.Error("basic scaling wrong")
+	}
+	if Scale(4, 0.1) != 2 {
+		t.Error("floor of 2 not applied")
+	}
+}
+
+func TestScaleMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(nRaw uint16, a, b float64) bool {
+		n := int(nRaw)%1000 + 2
+		fa := math.Abs(math.Mod(a, 1))
+		fb := math.Abs(math.Mod(b, 1))
+		if math.IsNaN(fa) || math.IsNaN(fb) || fa == 0 || fb == 0 {
+			return true
+		}
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return Scale(n, fa) <= Scale(n, fb)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDesignMatrixShape(t *testing.T) {
+	r := rng.New(1)
+	x := DesignMatrix(r, 50, 7)
+	if len(x) != 50 {
+		t.Fatalf("rows %d", len(x))
+	}
+	for _, row := range x {
+		if len(row) != 7 {
+			t.Fatalf("cols %d", len(row))
+		}
+		if row[0] != 1 {
+			t.Error("intercept column missing")
+		}
+	}
+}
+
+func TestCoefficientsShrink(t *testing.T) {
+	r := rng.New(2)
+	// Average magnitude should shrink with index.
+	var early, late float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		b := Coefficients(r, 1, 10)
+		early += math.Abs(b[1])
+		late += math.Abs(b[9])
+	}
+	if late >= early {
+		t.Errorf("late coefficients not shrinking: %g vs %g", late/trials, early/trials)
+	}
+}
+
+func TestGroupIndexInRange(t *testing.T) {
+	r := rng.New(3)
+	idx := GroupIndex(r, 1000, 13)
+	seen := make([]bool, 13)
+	for _, g := range idx {
+		if g < 0 || g >= 13 {
+			t.Fatalf("group %d out of range", g)
+		}
+		seen[g] = true
+	}
+	for g, s := range seen {
+		if !s {
+			t.Errorf("group %d never assigned", g)
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(1, 3, 5)
+	want := []float64{1, 1.5, 2, 2.5, 3}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Errorf("linspace[%d] = %g want %g", i, xs[i], want[i])
+		}
+	}
+	if one := Linspace(4, 9, 1); len(one) != 1 || one[0] != 4 {
+		t.Error("single-point linspace wrong")
+	}
+}
+
+func TestBytes8(t *testing.T) {
+	if Bytes8(100) != 800 {
+		t.Error("Bytes8 wrong")
+	}
+}

@@ -1,0 +1,64 @@
+package diag
+
+import (
+	"testing"
+
+	"bayessuite/internal/rng"
+)
+
+// BenchmarkSplitRHat measures the per-check cost of the convergence
+// diagnostic at the paper's worst-case size (§VI-A: 1000 retained draws,
+// 4 chains).
+func BenchmarkSplitRHat(b *testing.B) {
+	r := rng.New(1)
+	chains := make([][]float64, 4)
+	for c := range chains {
+		ch := make([]float64, 1000)
+		for i := range ch {
+			ch[i] = r.Norm()
+		}
+		chains[c] = ch
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SplitRHat(chains)
+	}
+}
+
+func BenchmarkESS(b *testing.B) {
+	r := rng.New(2)
+	chains := make([][]float64, 4)
+	for c := range chains {
+		ch := make([]float64, 1000)
+		x := 0.0
+		for i := range ch {
+			x = 0.5*x + r.Norm()
+			ch[i] = x
+		}
+		chains[c] = ch
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ESS(chains)
+	}
+}
+
+func BenchmarkGaussianKL(b *testing.B) {
+	r := rng.New(3)
+	mk := func() [][]float64 {
+		out := make([][]float64, 2000)
+		for i := range out {
+			row := make([]float64, 16)
+			for j := range row {
+				row[j] = r.Norm()
+			}
+			out[i] = row
+		}
+		return out
+	}
+	p, q := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GaussianKL(p, q)
+	}
+}

@@ -1,0 +1,215 @@
+package diag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bayessuite/internal/rng"
+)
+
+func iidChains(r *rng.RNG, chains, n int, mu, sd float64) [][]float64 {
+	out := make([][]float64, chains)
+	for c := range out {
+		ch := make([]float64, n)
+		for i := range ch {
+			ch[i] = mu + sd*r.Norm()
+		}
+		out[c] = ch
+	}
+	return out
+}
+
+func TestRHatNearOneForIID(t *testing.T) {
+	r := rng.New(1)
+	chains := iidChains(r, 4, 2000, 0, 1)
+	if v := RHat(chains); v > 1.02 || v < 0.98 {
+		t.Errorf("RHat on iid chains = %.4f", v)
+	}
+	if v := SplitRHat(chains); v > 1.02 || v < 0.98 {
+		t.Errorf("SplitRHat on iid chains = %.4f", v)
+	}
+}
+
+func TestRHatDetectsDisagreement(t *testing.T) {
+	r := rng.New(2)
+	chains := iidChains(r, 4, 500, 0, 1)
+	for i := range chains[0] {
+		chains[0][i] += 3 // one chain stuck elsewhere
+	}
+	if v := RHat(chains); v < 1.5 {
+		t.Errorf("RHat missed disagreement: %.3f", v)
+	}
+}
+
+func TestSplitRHatDetectsDrift(t *testing.T) {
+	// All chains drift identically: classic RHat can miss it, split
+	// catches it.
+	n := 1000
+	chains := make([][]float64, 4)
+	r := rng.New(3)
+	for c := range chains {
+		ch := make([]float64, n)
+		for i := range ch {
+			ch[i] = 4*float64(i)/float64(n) + 0.1*r.Norm()
+		}
+		chains[c] = ch
+	}
+	if v := SplitRHat(chains); v < 1.5 {
+		t.Errorf("split RHat missed drift: %.3f", v)
+	}
+}
+
+func TestRHatDegenerate(t *testing.T) {
+	if !math.IsNaN(RHat([][]float64{{1, 2, 3}})) {
+		t.Error("single chain should give NaN")
+	}
+	if !math.IsNaN(RHat([][]float64{{1}, {1}})) {
+		t.Error("length-1 chains should give NaN")
+	}
+	// Constant chains converge by definition.
+	if v := RHat([][]float64{{2, 2, 2, 2}, {2, 2, 2, 2}}); v != 1 {
+		t.Errorf("constant chains RHat = %g", v)
+	}
+}
+
+func TestMaxRHatMultiParam(t *testing.T) {
+	r := rng.New(4)
+	draws := make([][][]float64, 4)
+	for c := range draws {
+		for i := 0; i < 600; i++ {
+			// Param 0 converged everywhere, param 1 shifted in chain 0.
+			v := []float64{r.Norm(), r.Norm()}
+			if c == 0 {
+				v[1] += 4
+			}
+			draws[c] = append(draws[c], v)
+		}
+	}
+	if v := MaxRHat(draws); v < 1.5 {
+		t.Errorf("MaxRHat should flag the bad parameter: %.3f", v)
+	}
+	if v := MaxSplitRHat(draws); v < 1.5 {
+		t.Errorf("MaxSplitRHat should flag the bad parameter: %.3f", v)
+	}
+}
+
+func TestESSIIDCloseToN(t *testing.T) {
+	r := rng.New(5)
+	chains := iidChains(r, 4, 1000, 0, 1)
+	ess := ESS(chains)
+	if ess < 2500 || ess > 4001 {
+		t.Errorf("iid ESS = %.0f, want near 4000", ess)
+	}
+}
+
+func TestESSAutocorrelatedMuchSmaller(t *testing.T) {
+	// AR(1) with rho = 0.9 has ESS ~ n*(1-rho)/(1+rho) ~ n/19.
+	r := rng.New(6)
+	chains := make([][]float64, 4)
+	for c := range chains {
+		ch := make([]float64, 2000)
+		x := 0.0
+		for i := range ch {
+			x = 0.9*x + r.Norm()*math.Sqrt(1-0.81)
+			ch[i] = x
+		}
+		chains[c] = ch
+	}
+	ess := ESS(chains)
+	iid := float64(4 * 2000)
+	if ess > iid/5 {
+		t.Errorf("AR(1) ESS = %.0f, want well below %g", ess, iid)
+	}
+	if ess < iid/80 {
+		t.Errorf("AR(1) ESS = %.0f, implausibly small", ess)
+	}
+}
+
+func TestGaussianKLProperties(t *testing.T) {
+	r := rng.New(7)
+	mk := func(n int, mu, sd float64) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = []float64{mu + sd*r.Norm(), -mu + sd*r.Norm()}
+		}
+		return out
+	}
+	same := GaussianKL(mk(5000, 0, 1), mk(5000, 0, 1))
+	if same > 0.01 {
+		t.Errorf("KL between same distributions = %.4f", same)
+	}
+	diff := GaussianKL(mk(5000, 2, 1), mk(5000, 0, 1))
+	if diff < 0.5 {
+		t.Errorf("KL between shifted distributions = %.4f, want large", diff)
+	}
+	if diff <= same {
+		t.Error("KL should increase with divergence")
+	}
+	if !math.IsNaN(GaussianKL(nil, mk(10, 0, 1))) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestGaussianKLNonNegativeProperty(t *testing.T) {
+	r := rng.New(8)
+	err := quick.Check(func(m1, m2, s1, s2 float64) bool {
+		mu1 := math.Mod(m1, 5)
+		mu2 := math.Mod(m2, 5)
+		sd1 := math.Abs(math.Mod(s1, 3)) + 0.1
+		sd2 := math.Abs(math.Mod(s2, 3)) + 0.1
+		if math.IsNaN(mu1 + mu2 + sd1 + sd2) {
+			return true
+		}
+		a := make([][]float64, 400)
+		b := make([][]float64, 400)
+		for i := range a {
+			a[i] = []float64{mu1 + sd1*r.Norm()}
+			b[i] = []float64{mu2 + sd2*r.Norm()}
+		}
+		return GaussianKL(a, b) >= 0
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := rng.New(9)
+	draws := make([][][]float64, 4)
+	for c := range draws {
+		for i := 0; i < 500; i++ {
+			draws[c] = append(draws[c], []float64{2 + 0.5*r.Norm(), -1 + 2*r.Norm()})
+		}
+	}
+	sums := Summarize(draws, []string{"a", "b"})
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	if math.Abs(sums[0].Mean-2) > 0.05 || math.Abs(sums[0].SD-0.5) > 0.05 {
+		t.Errorf("param a summary: %+v", sums[0])
+	}
+	if math.Abs(sums[1].Mean+1) > 0.2 || math.Abs(sums[1].SD-2) > 0.2 {
+		t.Errorf("param b summary: %+v", sums[1])
+	}
+	if sums[0].Name != "a" || sums[1].Name != "b" {
+		t.Error("names not propagated")
+	}
+	if sums[0].RHat > 1.05 {
+		t.Errorf("iid RHat %.3f", sums[0].RHat)
+	}
+	if sums[0].Q05 >= sums[0].Median || sums[0].Median >= sums[0].Q95 {
+		t.Error("quantiles not ordered")
+	}
+}
+
+func TestFlattenChains(t *testing.T) {
+	draws := [][][]float64{
+		{{1}, {2}},
+		{{3}},
+	}
+	flat := FlattenChains(draws)
+	if len(flat) != 3 || flat[0][0] != 1 || flat[2][0] != 3 {
+		t.Errorf("flatten wrong: %v", flat)
+	}
+}

@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"math"
+
+	"bayessuite/internal/ad"
+	"bayessuite/internal/mathx"
+)
+
+// This file contains the autodiff counterparts of the log densities in
+// dist.go. Each *Sum function accumulates the whole-dataset likelihood as
+// a single fused tape node whose edge count is proportional to the modeled
+// data size — the key coupling between model/data and the simulated
+// working set (paper §V-A).
+
+// NormalLPDF records log N(x | mu, sigma) where any argument may be a
+// tracked variable.
+func NormalLPDF(t *ad.Tape, x, mu, sigma ad.Var) ad.Var {
+	s := sigma.Value()
+	z := (x.Value() - mu.Value()) / s
+	val := -0.5*z*z - math.Log(s) - mathx.LnSqrt2Pi
+	// d/dx = -z/s; d/dmu = z/s; d/dsigma = (z^2 - 1)/s
+	mark := t.BeginFused()
+	t.FusedEdge(x, -z/s)
+	t.FusedEdge(mu, z/s)
+	t.FusedEdge(sigma, (z*z-1)/s)
+	return t.EndFused(mark, val)
+}
+
+// NormalLPDFSum records sum_i log N(y[i] | mu, sigma) for constant data y.
+func NormalLPDFSum(t *ad.Tape, y []float64, mu, sigma ad.Var) ad.Var {
+	s := sigma.Value()
+	m := mu.Value()
+	inv := 1 / s
+	var val, dmu, dsigma float64
+	for _, yi := range y {
+		z := (yi - m) * inv
+		val += -0.5 * z * z
+		dmu += z * inv
+		dsigma += (z*z - 1) * inv
+	}
+	n := float64(len(y))
+	val += n * (-math.Log(s) - mathx.LnSqrt2Pi)
+	mark := t.BeginFused()
+	t.FusedEdge(mu, dmu)
+	t.FusedEdge(sigma, dsigma)
+	return t.EndFused(mark, val)
+}
+
+// NormalLPDFVec records sum_i log N(y[i] | mu[i], sigma) where each
+// observation has its own tracked mean (the regression case).
+func NormalLPDFVec(t *ad.Tape, y []float64, mu []ad.Var, sigma ad.Var) ad.Var {
+	if len(y) != len(mu) {
+		panic("dist: NormalLPDFVec length mismatch")
+	}
+	s := sigma.Value()
+	inv := 1 / s
+	mark := t.BeginFused()
+	var val, dsigma float64
+	for i, yi := range y {
+		z := (yi - mu[i].Value()) * inv
+		val += -0.5 * z * z
+		t.FusedEdge(mu[i], z*inv)
+		dsigma += (z*z - 1) * inv
+	}
+	val += float64(len(y)) * (-math.Log(s) - mathx.LnSqrt2Pi)
+	t.FusedEdge(sigma, dsigma)
+	return t.EndFused(mark, val)
+}
+
+// NormalLPDFVarData records sum_i log N(y[i] | mu, sigma) where the data
+// points themselves are tracked variables (latent observations).
+func NormalLPDFVarData(t *ad.Tape, y []ad.Var, mu, sigma ad.Var) ad.Var {
+	s := sigma.Value()
+	m := mu.Value()
+	inv := 1 / s
+	mark := t.BeginFused()
+	var val, dmu, dsigma float64
+	for _, yi := range y {
+		z := (yi.Value() - m) * inv
+		val += -0.5 * z * z
+		t.FusedEdge(yi, -z*inv)
+		dmu += z * inv
+		dsigma += (z*z - 1) * inv
+	}
+	val += float64(len(y)) * (-math.Log(s) - mathx.LnSqrt2Pi)
+	t.FusedEdge(mu, dmu)
+	t.FusedEdge(sigma, dsigma)
+	return t.EndFused(mark, val)
+}
+
+// CauchyLPDF records log Cauchy(x | loc, scale).
+func CauchyLPDF(t *ad.Tape, x, loc, scale ad.Var) ad.Var {
+	s := scale.Value()
+	z := (x.Value() - loc.Value()) / s
+	val := -math.Log(math.Pi) - math.Log(s) - math.Log1p(z*z)
+	common := 2 * z / (1 + z*z) / s
+	mark := t.BeginFused()
+	t.FusedEdge(x, -common)
+	t.FusedEdge(loc, common)
+	t.FusedEdge(scale, (common*z)-1/s)
+	return t.EndFused(mark, val)
+}
+
+// HalfCauchyLPDF records the half-Cauchy log density for x >= 0, scale
+// fixed. The caller guarantees positivity via a Lower transform.
+func HalfCauchyLPDF(t *ad.Tape, x ad.Var, scale float64) ad.Var {
+	v := x.Value()
+	z := v / scale
+	val := math.Ln2 - math.Log(math.Pi) - math.Log(scale) - math.Log1p(z*z)
+	return t.EndFusedSingle(x, -2*z/(1+z*z)/scale, val)
+}
+
+// StudentTLPDF records log t_nu(x | mu, sigma) with constant nu.
+func StudentTLPDF(t *ad.Tape, nu float64, x, mu, sigma ad.Var) ad.Var {
+	s := sigma.Value()
+	z := (x.Value() - mu.Value()) / s
+	val := mathx.Lgamma((nu+1)/2) - mathx.Lgamma(nu/2) -
+		0.5*math.Log(nu*math.Pi) - math.Log(s) -
+		(nu+1)/2*math.Log1p(z*z/nu)
+	common := (nu + 1) * z / (nu + z*z) / s
+	mark := t.BeginFused()
+	t.FusedEdge(x, -common)
+	t.FusedEdge(mu, common)
+	t.FusedEdge(sigma, common*z-1/s)
+	return t.EndFused(mark, val)
+}
+
+// GammaLPDF records log Gamma(x | alpha, beta) with constant shape/rate.
+func GammaLPDF(t *ad.Tape, x ad.Var, alpha, beta float64) ad.Var {
+	v := x.Value()
+	val := alpha*math.Log(beta) - mathx.Lgamma(alpha) + (alpha-1)*math.Log(v) - beta*v
+	return t.EndFusedSingle(x, (alpha-1)/v-beta, val)
+}
+
+// InvGammaLPDF records log InvGamma(x | alpha, beta) with constant
+// shape/scale.
+func InvGammaLPDF(t *ad.Tape, x ad.Var, alpha, beta float64) ad.Var {
+	v := x.Value()
+	val := alpha*math.Log(beta) - mathx.Lgamma(alpha) - (alpha+1)*math.Log(v) - beta/v
+	return t.EndFusedSingle(x, -(alpha+1)/v+beta/(v*v), val)
+}
+
+// BetaLPDF records log Beta(x | a, b) with constant a, b.
+func BetaLPDF(t *ad.Tape, x ad.Var, a, b float64) ad.Var {
+	v := x.Value()
+	val := (a-1)*math.Log(v) + (b-1)*math.Log1p(-v) - mathx.LBeta(a, b)
+	return t.EndFusedSingle(x, (a-1)/v-(b-1)/(1-v), val)
+}
+
+// ExponentialLPDF records log Exp(x | rate) with constant rate.
+func ExponentialLPDF(t *ad.Tape, x ad.Var, rate float64) ad.Var {
+	val := math.Log(rate) - rate*x.Value()
+	return t.EndFusedSingle(x, -rate, val)
+}
+
+// LogNormalLPDF records log LogNormal(x | mu, sigma).
+func LogNormalLPDF(t *ad.Tape, x, mu, sigma ad.Var) ad.Var {
+	lx := t.Log(x)
+	lp := NormalLPDF(t, lx, mu, sigma)
+	return t.Sub(lp, lx)
+}
+
+// PoissonLogLPMFSum records sum_i log Poisson(y[i] | exp(eta[i])).
+func PoissonLogLPMFSum(t *ad.Tape, y []int, eta []ad.Var) ad.Var {
+	if len(y) != len(eta) {
+		panic("dist: PoissonLogLPMFSum length mismatch")
+	}
+	mark := t.BeginFused()
+	val := 0.0
+	for i, yi := range y {
+		e := eta[i].Value()
+		lam := math.Exp(e)
+		fy := float64(yi)
+		val += fy*e - lam - mathx.Lgamma(fy+1)
+		t.FusedEdge(eta[i], fy-lam)
+	}
+	return t.EndFused(mark, val)
+}
+
+// BernoulliLogitLPMFSum records sum_i log Bernoulli(y[i] | invlogit(eta[i])).
+func BernoulliLogitLPMFSum(t *ad.Tape, y []int, eta []ad.Var) ad.Var {
+	if len(y) != len(eta) {
+		panic("dist: BernoulliLogitLPMFSum length mismatch")
+	}
+	mark := t.BeginFused()
+	val := 0.0
+	for i, yi := range y {
+		e := eta[i].Value()
+		p := mathx.InvLogit(e)
+		if yi == 1 {
+			val += -mathx.Log1pExp(-e)
+			t.FusedEdge(eta[i], 1-p)
+		} else {
+			val += -mathx.Log1pExp(e)
+			t.FusedEdge(eta[i], -p)
+		}
+	}
+	return t.EndFused(mark, val)
+}
+
+// BinomialLogitLPMFSum records sum_i log Binomial(y[i] | n[i], invlogit(eta[i])).
+func BinomialLogitLPMFSum(t *ad.Tape, y, n []int, eta []ad.Var) ad.Var {
+	if len(y) != len(eta) || len(n) != len(eta) {
+		panic("dist: BinomialLogitLPMFSum length mismatch")
+	}
+	mark := t.BeginFused()
+	val := 0.0
+	for i, yi := range y {
+		e := eta[i].Value()
+		p := mathx.InvLogit(e)
+		fy, fn := float64(yi), float64(n[i])
+		val += mathx.LChoose(fn, fy) + fy*e - fn*mathx.Log1pExp(e)
+		t.FusedEdge(eta[i], fy-fn*p)
+	}
+	return t.EndFused(mark, val)
+}
+
+// BinomialLPMF records log Binomial(y | n, p) with tracked probability p.
+func BinomialLPMF(t *ad.Tape, y, n int, p ad.Var) ad.Var {
+	pv := p.Value()
+	fy, fn := float64(y), float64(n)
+	val := mathx.LChoose(fn, fy) + fy*math.Log(pv) + (fn-fy)*math.Log1p(-pv)
+	return t.EndFusedSingle(p, fy/pv-(fn-fy)/(1-pv), val)
+}
+
+// BernoulliLPMF records log Bernoulli(y | p) with tracked probability p.
+func BernoulliLPMF(t *ad.Tape, y int, p ad.Var) ad.Var {
+	pv := p.Value()
+	if y == 1 {
+		return t.EndFusedSingle(p, 1/pv, math.Log(pv))
+	}
+	return t.EndFusedSingle(p, -1/(1-pv), math.Log1p(-pv))
+}

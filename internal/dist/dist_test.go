@@ -1,0 +1,332 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bayessuite/internal/ad"
+	"bayessuite/internal/linalg"
+	"bayessuite/internal/rng"
+)
+
+// TestLogPDFsIntegrateToOne numerically integrates each continuous log
+// density over a wide grid and checks normalization.
+func TestLogPDFsIntegrateToOne(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      func(x float64) float64
+		lo, hi float64
+	}{
+		{"normal", func(x float64) float64 { return NormalLogPDF(x, 1, 2) }, -30, 30},
+		{"cauchy", func(x float64) float64 { return CauchyLogPDF(x, 0, 1) }, -8000, 8000},
+		{"halfcauchy", func(x float64) float64 { return HalfCauchyLogPDF(x, 1) }, 0, 16000},
+		{"studentt", func(x float64) float64 { return StudentTLogPDF(x, 5, 0, 1) }, -400, 400},
+		{"gamma", func(x float64) float64 { return GammaLogPDF(x, 2.5, 1.5) }, 1e-9, 60},
+		{"invgamma", func(x float64) float64 { return InvGammaLogPDF(x, 3, 2) }, 1e-9, 400},
+		{"beta", func(x float64) float64 { return BetaLogPDF(x, 2, 3) }, 1e-9, 1 - 1e-9},
+		{"exponential", func(x float64) float64 { return ExponentialLogPDF(x, 0.7) }, 0, 80},
+		{"lognormal", func(x float64) float64 { return LogNormalLogPDF(x, 0, 0.5) }, 1e-9, 60},
+		{"uniform", func(x float64) float64 { return UniformLogPDF(x, -2, 5) }, -2, 5},
+	}
+	for _, c := range cases {
+		const n = 200000
+		h := (c.hi - c.lo) / n
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := c.lo + (float64(i)+0.5)*h
+			lp := c.f(x)
+			if lp > -700 {
+				sum += math.Exp(lp) * h
+			}
+		}
+		tol := 0.01
+		if c.name == "cauchy" || c.name == "halfcauchy" || c.name == "studentt" {
+			tol = 0.02 // heavy tails truncated
+		}
+		if math.Abs(sum-1) > tol {
+			t.Errorf("%s integrates to %.4f", c.name, sum)
+		}
+	}
+}
+
+// TestPMFsSumToOne checks the discrete distributions.
+func TestPMFsSumToOne(t *testing.T) {
+	// Poisson(3.7)
+	sum := 0.0
+	for y := 0; y < 200; y++ {
+		sum += math.Exp(PoissonLogPMF(y, 3.7))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("poisson sums to %g", sum)
+	}
+	// Binomial(20, 0.3)
+	sum = 0
+	for y := 0; y <= 20; y++ {
+		sum += math.Exp(BinomialLogPMF(y, 20, 0.3))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("binomial sums to %g", sum)
+	}
+	// Bernoulli-logit
+	for _, eta := range []float64{-3, 0, 2.5} {
+		s := math.Exp(BernoulliLogitLogPMF(0, eta)) + math.Exp(BernoulliLogitLogPMF(1, eta))
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("bernoulli-logit(%g) sums to %g", eta, s)
+		}
+	}
+}
+
+func TestParameterizationConsistency(t *testing.T) {
+	// Poisson log-rate parameterization matches the direct one.
+	for _, y := range []int{0, 3, 17} {
+		lam := 4.2
+		a := PoissonLogPMF(y, lam)
+		b := PoissonLogLogPMF(y, math.Log(lam))
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("poisson param mismatch y=%d: %g vs %g", y, a, b)
+		}
+	}
+	// Binomial logit matches direct.
+	eta := 0.8
+	p := 1 / (1 + math.Exp(-eta))
+	a := BinomialLogPMF(7, 20, p)
+	b := BinomialLogitLogPMF(7, 20, eta)
+	if math.Abs(a-b) > 1e-10 {
+		t.Errorf("binomial param mismatch: %g vs %g", a, b)
+	}
+}
+
+func TestDirichletNormalization(t *testing.T) {
+	// Dirichlet(1,1,1) is uniform on the simplex with density 2.
+	lp := DirichletLogPDF([]float64{0.2, 0.3, 0.5}, []float64{1, 1, 1})
+	if math.Abs(math.Exp(lp)-2) > 1e-9 {
+		t.Errorf("Dirichlet(1,1,1) density %g want 2", math.Exp(lp))
+	}
+}
+
+func TestMVNormalCholMatchesUnivariate(t *testing.T) {
+	// 1-D MVN must equal the scalar normal.
+	l := linalg.NewMatrix(1, 1)
+	l.Set(0, 0, 2) // sd 2
+	a := MVNormalCholLogPDF([]float64{1.3}, []float64{0.5}, l)
+	b := NormalLogPDF(1.3, 0.5, 2)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("1-D MVN %g vs normal %g", a, b)
+	}
+}
+
+func TestMVNormalCholDiagonalFactorizes(t *testing.T) {
+	// Diagonal covariance: joint = product of marginals.
+	cov := linalg.NewMatrix(3, 3)
+	sds := []float64{0.5, 1.5, 2.5}
+	for i, s := range sds {
+		cov.Set(i, i, s*s)
+	}
+	l, err := linalg.Cholesky(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{0.3, -1.2, 2.2}
+	mu := []float64{0, 1, -1}
+	joint := MVNormalCholLogPDF(y, mu, l)
+	sum := 0.0
+	for i := range y {
+		sum += NormalLogPDF(y[i], mu[i], sds[i])
+	}
+	if math.Abs(joint-sum) > 1e-10 {
+		t.Errorf("MVN diag %g vs product %g", joint, sum)
+	}
+}
+
+func TestCDFs(t *testing.T) {
+	if math.Abs(NormalCDF(0, 0, 1)-0.5) > 1e-12 {
+		t.Error("normal CDF at mean")
+	}
+	if math.Abs(CauchyCDF(0, 0, 1)-0.5) > 1e-12 {
+		t.Error("cauchy CDF at location")
+	}
+	if math.Abs(CauchyCDF(1, 0, 1)-0.75) > 1e-12 {
+		t.Error("cauchy CDF at scale")
+	}
+}
+
+// adGradCheck verifies an AD lpdf term against finite differences of its
+// float counterpart.
+func adGradCheck(t *testing.T, name string, dim int,
+	build func(tp *ad.Tape, q []ad.Var) ad.Var, eval func(x []float64) float64, x []float64) {
+	t.Helper()
+	tp := ad.NewTape(0)
+	q := tp.Input(x)
+	out := build(tp, q)
+	if math.Abs(out.Value()-eval(x)) > 1e-9*(1+math.Abs(out.Value())) {
+		t.Errorf("%s: AD value %g, float value %g", name, out.Value(), eval(x))
+	}
+	grad := make([]float64, dim)
+	tp.Grad(out, grad)
+	const h = 1e-6
+	for i := 0; i < dim; i++ {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		fd := (eval(xp) - eval(xm)) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("%s: d/dx%d AD %g, FD %g", name, i, grad[i], fd)
+		}
+	}
+}
+
+func TestADNormalLPDF(t *testing.T) {
+	adGradCheck(t, "normal", 3,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return NormalLPDF(tp, q[0], q[1], q[2]) },
+		func(x []float64) float64 { return NormalLogPDF(x[0], x[1], x[2]) },
+		[]float64{0.4, -0.2, 1.3})
+}
+
+func TestADNormalSums(t *testing.T) {
+	y := []float64{0.1, -0.5, 1.2, 0.7}
+	adGradCheck(t, "normal-sum", 2,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return NormalLPDFSum(tp, y, q[0], q[1]) },
+		func(x []float64) float64 {
+			s := 0.0
+			for _, yi := range y {
+				s += NormalLogPDF(yi, x[0], x[1])
+			}
+			return s
+		},
+		[]float64{0.3, 0.9})
+}
+
+func TestADCauchyStudentGamma(t *testing.T) {
+	adGradCheck(t, "cauchy", 3,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return CauchyLPDF(tp, q[0], q[1], q[2]) },
+		func(x []float64) float64 { return CauchyLogPDF(x[0], x[1], x[2]) },
+		[]float64{1.1, 0.2, 0.8})
+	adGradCheck(t, "halfcauchy", 1,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return HalfCauchyLPDF(tp, q[0], 1.5) },
+		func(x []float64) float64 { return HalfCauchyLogPDF(x[0], 1.5) },
+		[]float64{0.9})
+	adGradCheck(t, "studentt", 3,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return StudentTLPDF(tp, 4, q[0], q[1], q[2]) },
+		func(x []float64) float64 { return StudentTLogPDF(x[0], 4, x[1], x[2]) },
+		[]float64{0.5, -0.1, 1.2})
+	adGradCheck(t, "gamma", 1,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return GammaLPDF(tp, q[0], 2, 3) },
+		func(x []float64) float64 { return GammaLogPDF(x[0], 2, 3) },
+		[]float64{1.4})
+	adGradCheck(t, "invgamma", 1,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return InvGammaLPDF(tp, q[0], 3, 2) },
+		func(x []float64) float64 { return InvGammaLogPDF(x[0], 3, 2) },
+		[]float64{0.8})
+	adGradCheck(t, "beta", 1,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return BetaLPDF(tp, q[0], 2, 5) },
+		func(x []float64) float64 { return BetaLogPDF(x[0], 2, 5) },
+		[]float64{0.3})
+	adGradCheck(t, "exponential", 1,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return ExponentialLPDF(tp, q[0], 1.2) },
+		func(x []float64) float64 { return ExponentialLogPDF(x[0], 1.2) },
+		[]float64{0.6})
+	adGradCheck(t, "lognormal", 3,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return LogNormalLPDF(tp, q[0], q[1], q[2]) },
+		func(x []float64) float64 { return LogNormalLogPDF(x[0], x[1], x[2]) },
+		[]float64{1.7, 0.1, 0.9})
+}
+
+func TestADDiscreteSums(t *testing.T) {
+	yb := []int{1, 0, 1, 1}
+	adGradCheck(t, "bernoulli-logit-sum", 4,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return BernoulliLogitLPMFSum(tp, yb, q) },
+		func(x []float64) float64 {
+			s := 0.0
+			for i, y := range yb {
+				s += BernoulliLogitLogPMF(y, x[i])
+			}
+			return s
+		},
+		[]float64{0.3, -0.7, 1.2, 0.1})
+
+	yp := []int{2, 0, 5}
+	adGradCheck(t, "poisson-log-sum", 3,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return PoissonLogLPMFSum(tp, yp, q) },
+		func(x []float64) float64 {
+			s := 0.0
+			for i, y := range yp {
+				s += PoissonLogLogPMF(y, x[i])
+			}
+			return s
+		},
+		[]float64{0.5, -1.0, 1.5})
+
+	ys, ns := []int{3, 7}, []int{10, 12}
+	adGradCheck(t, "binomial-logit-sum", 2,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return BinomialLogitLPMFSum(tp, ys, ns, q) },
+		func(x []float64) float64 {
+			s := 0.0
+			for i := range ys {
+				s += BinomialLogitLogPMF(ys[i], ns[i], x[i])
+			}
+			return s
+		},
+		[]float64{-0.4, 0.6})
+
+	adGradCheck(t, "bernoulli-p", 1,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return BernoulliLPMF(tp, 1, q[0]) },
+		func(x []float64) float64 { return math.Log(x[0]) },
+		[]float64{0.4})
+	adGradCheck(t, "binomial-p", 1,
+		func(tp *ad.Tape, q []ad.Var) ad.Var { return BinomialLPMF(tp, 4, 9, q[0]) },
+		func(x []float64) float64 { return BinomialLogPMF(4, 9, x[0]) },
+		[]float64{0.35})
+}
+
+// TestSamplerMatchesDensity draws from the rng samplers and checks the
+// empirical CDF against the analytic CDF at a few probe points
+// (a light Kolmogorov-style property check).
+func TestSamplerMatchesDensity(t *testing.T) {
+	r := rng.New(77)
+	const n = 100000
+	var xs []float64
+	for i := 0; i < n; i++ {
+		xs = append(xs, r.Norm()*1.5+0.5)
+	}
+	for _, probe := range []float64{-1, 0.5, 2} {
+		count := 0
+		for _, x := range xs {
+			if x <= probe {
+				count++
+			}
+		}
+		want := NormalCDF(probe, 0.5, 1.5)
+		got := float64(count) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical CDF at %g: %g want %g", probe, got, want)
+		}
+	}
+}
+
+// TestLogPDFFiniteness is a property test: densities never return NaN on
+// their support.
+func TestLogPDFFiniteness(t *testing.T) {
+	err := quick.Check(func(xr, mr, sr float64) bool {
+		x := math.Mod(xr, 100)
+		mu := math.Mod(mr, 100)
+		sigma := math.Abs(math.Mod(sr, 10)) + 0.01
+		if math.IsNaN(x) || math.IsNaN(mu) || math.IsNaN(sigma) {
+			return true
+		}
+		for _, lp := range []float64{
+			NormalLogPDF(x, mu, sigma),
+			CauchyLogPDF(x, mu, sigma),
+			StudentTLogPDF(x, 3, mu, sigma),
+		} {
+			if math.IsNaN(lp) || lp > 10 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package dse
+
+import (
+	"math"
+	"testing"
+
+	"bayessuite/internal/hw"
+)
+
+func testProfile() *hw.Profile {
+	return &hw.Profile{
+		Name:       "t",
+		TapeEdges:  20000,
+		TapeNodes:  3000,
+		BaseIPC:    2.2,
+		BranchMPKI: 0.5,
+		CodeKB:     20,
+		Iterations: 2000,
+		Chains:     4,
+		ChainWork:  []int64{70_000, 60_000, 65_000, 62_000},
+	}
+}
+
+// constQuality marks everything at or above minIters acceptable.
+type constQuality struct{ minIters int }
+
+func (q constQuality) KL(chains, iters int) float64 {
+	if iters >= q.minIters && chains >= 1 {
+		return 0.01
+	}
+	return 1.0
+}
+
+func TestExploreFindsOracle(t *testing.T) {
+	res := Explore(Config{
+		Profile:        testProfile(),
+		Platform:       hw.Skylake,
+		IterGrid:       []int{250, 500, 1000, 2000},
+		UserIterations: 2000,
+		UserChains:     4,
+		ElisionIters:   map[int]int{1: 600, 2: 550, 4: 500},
+		Quality:        constQuality{minIters: 500},
+		KLThreshold:    0.05,
+	})
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if res.Oracle.Kind != OraclePoint {
+		t.Error("oracle not tagged")
+	}
+	if !res.Oracle.Acceptable {
+		t.Error("oracle must be acceptable")
+	}
+	if res.Oracle.EnergyJoules > res.User.EnergyJoules {
+		t.Errorf("oracle energy %.1f above user %.1f", res.Oracle.EnergyJoules, res.User.EnergyJoules)
+	}
+	// The oracle should prefer fewer chains/iterations (the paper: 1-2
+	// chains, few iterations).
+	if res.Oracle.Chains > 2 {
+		t.Errorf("oracle picked %d chains; cheap points use 1-2", res.Oracle.Chains)
+	}
+	if res.Oracle.Iterations > 1000 {
+		t.Errorf("oracle picked %d iterations", res.Oracle.Iterations)
+	}
+}
+
+func TestExploreElisionPoints(t *testing.T) {
+	res := Explore(Config{
+		Profile:        testProfile(),
+		Platform:       hw.Skylake,
+		IterGrid:       []int{500, 2000},
+		UserIterations: 2000,
+		UserChains:     4,
+		ElisionIters:   map[int]int{4: 700},
+	})
+	if len(res.Elision) != 3 { // cores 1, 2, 4 at chains=4
+		t.Fatalf("expected 3 elision points, got %d", len(res.Elision))
+	}
+	for _, p := range res.Elision {
+		if p.Kind != ElisionPoint || p.Iterations != 700 || p.Chains != 4 {
+			t.Errorf("bad elision point: %+v", p)
+		}
+	}
+	// More cores => lower latency at the same iteration count.
+	if !(res.Elision[0].LatencySeconds > res.Elision[2].LatencySeconds) {
+		t.Error("elision latency should drop with cores")
+	}
+}
+
+func TestExploreSkipsIdleCorePoints(t *testing.T) {
+	res := Explore(Config{
+		Profile:        testProfile(),
+		Platform:       hw.Skylake,
+		IterGrid:       []int{500},
+		UserIterations: 2000,
+		UserChains:     4,
+	})
+	for _, p := range res.Points {
+		if p.Cores > p.Chains {
+			t.Errorf("dominated point kept: %+v", p)
+		}
+	}
+}
+
+func TestExploreNoQualityAllAcceptable(t *testing.T) {
+	res := Explore(Config{
+		Profile:        testProfile(),
+		Platform:       hw.Broadwell,
+		IterGrid:       []int{500, 1000},
+		UserIterations: 2000,
+		UserChains:     4,
+	})
+	for _, p := range res.Points {
+		if !p.Acceptable || !math.IsNaN(p.KL) {
+			t.Errorf("point should be acceptable with NaN KL: %+v", p)
+		}
+	}
+}
+
+func TestExploreOracleFallsBackToUser(t *testing.T) {
+	res := Explore(Config{
+		Profile:        testProfile(),
+		Platform:       hw.Skylake,
+		IterGrid:       []int{500},
+		UserIterations: 2000,
+		UserChains:     4,
+		Quality:        constQuality{minIters: 1 << 30}, // nothing acceptable
+	})
+	if res.Oracle.Iterations != res.User.Iterations || res.Oracle.Chains != res.User.Chains {
+		t.Errorf("oracle should fall back to the user point: %+v", res.Oracle)
+	}
+}
+
+func TestPointKindString(t *testing.T) {
+	if GridPoint.String() != "grid" || UserPoint.String() != "user" ||
+		ElisionPoint.String() != "elision" || OraclePoint.String() != "oracle" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,111 @@
+// Package elide implements the paper's computation-elision mechanism
+// (§VI): runtime convergence detection based on the Gelman-Rubin
+// diagnostic. Instead of executing a preset number of sampling iterations,
+// the run terminates as soon as R̂ over the second half of the draws falls
+// below a threshold (1.1 in the paper), eliding the redundant iterations
+// that the paper measures at ~70% of the total on average.
+package elide
+
+import (
+	"time"
+
+	"bayessuite/internal/diag"
+)
+
+// DefaultThreshold is the convergence threshold the paper adopts from
+// Brooks et al.: R̂ < 1.1 indicates convergence.
+const DefaultThreshold = 1.1
+
+// Detector is an mcmc.StopRule that declares convergence when the maximum
+// split-R̂ across parameters, computed over the second half of the draws
+// so far, drops below Threshold.
+type Detector struct {
+	// Threshold is the R̂ convergence threshold (default 1.1).
+	Threshold float64
+	// Trace records every convergence check for post-hoc analysis
+	// (Figure 5's blue line).
+	Trace []CheckPoint
+	// Overhead accumulates wall time spent inside convergence checks,
+	// supporting the paper's overhead analysis (§VI-A).
+	Overhead time.Duration
+	// Fired is the iteration at which convergence was declared (0 if
+	// never).
+	Fired int
+}
+
+// CheckPoint is one runtime convergence check.
+type CheckPoint struct {
+	Iteration int
+	RHat      float64
+}
+
+// NewDetector returns a Detector with the paper's default threshold.
+func NewDetector() *Detector { return &Detector{Threshold: DefaultThreshold} }
+
+// ShouldStop implements mcmc.StopRule. It discards the first half of each
+// chain's draws (the paper's warm-up convention) and thresholds the
+// maximum classic Gelman-Rubin R̂ over parameters. Single-chain runs fall
+// back to the split variant (the classic diagnostic needs >= 2 chains).
+func (d *Detector) ShouldStop(draws [][][]float64, iter int) bool {
+	start := time.Now()
+	defer func() { d.Overhead += time.Since(start) }()
+
+	half := make([][][]float64, len(draws))
+	for c := range draws {
+		n := len(draws[c])
+		half[c] = draws[c][n/2:]
+	}
+	r := rhatOf(half)
+	d.Trace = append(d.Trace, CheckPoint{Iteration: iter, RHat: r})
+	th := d.Threshold
+	if th == 0 {
+		th = DefaultThreshold
+	}
+	if r > 0 && r < th {
+		if d.Fired == 0 {
+			d.Fired = iter
+		}
+		return true
+	}
+	return false
+}
+
+// RHatTrace computes, post-hoc, the R̂ trace a Detector would have seen on
+// a completed run: for each multiple of interval it evaluates max
+// split-R̂ over the second half of the first `it` draws. Used to draw
+// Figure 5 without re-running the sampler.
+func RHatTrace(draws [][][]float64, interval int) []CheckPoint {
+	if len(draws) == 0 {
+		return nil
+	}
+	n := len(draws[0])
+	var out []CheckPoint
+	for it := interval; it <= n; it += interval {
+		half := make([][][]float64, len(draws))
+		for c := range draws {
+			half[c] = draws[c][it/2 : it]
+		}
+		out = append(out, CheckPoint{Iteration: it, RHat: rhatOf(half)})
+	}
+	return out
+}
+
+// rhatOf picks the diagnostic: classic multi-chain R̂ when possible,
+// split-R̂ for single-chain runs.
+func rhatOf(draws [][][]float64) float64 {
+	if len(draws) >= 2 {
+		return diag.MaxRHat(draws)
+	}
+	return diag.MaxSplitRHat(draws)
+}
+
+// ConvergencePoint returns the first iteration in trace at which R̂ fell
+// below threshold, or 0 if it never did.
+func ConvergencePoint(trace []CheckPoint, threshold float64) int {
+	for _, cp := range trace {
+		if cp.RHat > 0 && cp.RHat < threshold {
+			return cp.Iteration
+		}
+	}
+	return 0
+}

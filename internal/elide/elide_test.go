@@ -1,0 +1,113 @@
+package elide
+
+import (
+	"math"
+	"testing"
+
+	"bayessuite/internal/rng"
+)
+
+// fakeDraws builds multi-chain draws that disagree for the first `bad`
+// iterations and agree afterwards.
+func fakeDraws(chains, n, bad int, seed uint64) [][][]float64 {
+	r := rng.New(seed)
+	out := make([][][]float64, chains)
+	for c := range out {
+		for i := 0; i < n; i++ {
+			offset := 0.0
+			if i < bad {
+				offset = float64(c) * 5
+			}
+			out[c] = append(out[c], []float64{offset + r.Norm()})
+		}
+	}
+	return out
+}
+
+func TestDetectorFiresAfterConvergence(t *testing.T) {
+	d := NewDetector()
+	draws := fakeDraws(4, 1000, 100, 1)
+	// Before convergence (second half still contains bad draws):
+	if d.ShouldStop(trim(draws, 150), 150) {
+		t.Error("fired too early")
+	}
+	// Well after: second half of 600 iterations is all good.
+	if !d.ShouldStop(trim(draws, 600), 600) {
+		t.Error("did not fire after convergence")
+	}
+	if d.Fired != 600 {
+		t.Errorf("Fired = %d", d.Fired)
+	}
+	if len(d.Trace) != 2 {
+		t.Errorf("trace has %d checkpoints", len(d.Trace))
+	}
+	if d.Overhead <= 0 {
+		t.Error("overhead not accounted")
+	}
+}
+
+func trim(draws [][][]float64, n int) [][][]float64 {
+	out := make([][][]float64, len(draws))
+	for c := range draws {
+		out[c] = draws[c][:n]
+	}
+	return out
+}
+
+func TestDetectorSingleChainUsesSplit(t *testing.T) {
+	d := NewDetector()
+	draws := fakeDraws(1, 800, 0, 2)
+	if !d.ShouldStop(trim(draws, 800), 800) {
+		t.Error("single-chain split RHat should fire on iid draws")
+	}
+}
+
+func TestRHatTraceDecreases(t *testing.T) {
+	draws := fakeDraws(4, 1200, 200, 3)
+	trace := RHatTrace(draws, 100)
+	if len(trace) != 12 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	first, last := trace[0].RHat, trace[len(trace)-1].RHat
+	if !(last < first) {
+		t.Errorf("RHat did not decrease: %.3f -> %.3f", first, last)
+	}
+	if last > 1.05 {
+		t.Errorf("final RHat %.3f on converged chains", last)
+	}
+	cp := ConvergencePoint(trace, DefaultThreshold)
+	if cp == 0 {
+		t.Error("no convergence point found")
+	}
+	if cp <= 200 {
+		t.Errorf("converged at %d, before the chains even agreed", cp)
+	}
+}
+
+func TestConvergencePointNever(t *testing.T) {
+	trace := []CheckPoint{{100, 2.0}, {200, 1.5}}
+	if cp := ConvergencePoint(trace, 1.1); cp != 0 {
+		t.Errorf("expected no convergence, got %d", cp)
+	}
+}
+
+func TestDetectorRespectsThreshold(t *testing.T) {
+	strict := &Detector{Threshold: 1.0001}
+	draws := fakeDraws(4, 400, 0, 4)
+	// iid draws have RHat ~ 1 but above 1.0001 half the time; the firing
+	// behaviour only matters in that it should *never* fire with an
+	// impossible threshold below 1.
+	impossible := &Detector{Threshold: 0.5}
+	if impossible.ShouldStop(draws, 400) {
+		t.Error("fired with impossible threshold")
+	}
+	_ = strict
+	// NaN RHat (degenerate draws) must not fire.
+	d := NewDetector()
+	if d.ShouldStop([][][]float64{{{1}}, {{1}}}, 1) {
+		t.Error("fired on degenerate draws")
+	}
+	if !math.IsNaN(d.Trace[0].RHat) && d.Trace[0].RHat > 0 && d.Trace[0].RHat < 1.1 {
+		t.Error("degenerate RHat recorded as converged")
+	}
+}

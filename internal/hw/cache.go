@@ -1,0 +1,138 @@
+package hw
+
+// Cache is a set-associative cache simulator with selectable replacement
+// policy. The LLC model uses random replacement: modern Intel LLCs use
+// adaptive (quasi-random / RRIP-like) policies rather than true LRU, and
+// random replacement both approximates their behavior on streaming
+// working sets and avoids the LRU loop pathology (a cyclic working set
+// slightly larger than the cache missing 100% under LRU, which no real
+// LLC exhibits). LRU remains available for the smaller structures and for
+// the cache-model ablation bench.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+
+	// tags[set*ways+way]; 0 means empty (addresses are offset so that a
+	// real tag is never 0).
+	tags []uint64
+	// lru[set*ways+way] is the last-use stamp when the policy is LRU.
+	lru   []uint64
+	stamp uint64
+
+	policy Policy
+	rngSt  uint64
+
+	Hits, Misses uint64
+}
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// RandomReplacement approximates adaptive LLC policies.
+	RandomReplacement Policy = iota
+	// LRUReplacement is classic least-recently-used.
+	LRUReplacement
+)
+
+// NewCache builds a cache of the given total size, associativity and line
+// size (all powers of two recommended).
+func NewCache(sizeBytes int64, ways, lineBytes int, policy Policy) *Cache {
+	if ways < 1 || lineBytes < 1 || sizeBytes < int64(ways*lineBytes) {
+		panic("hw: bad cache geometry")
+	}
+	lines := sizeBytes / int64(lineBytes)
+	sets := int(lines) / ways
+	if sets < 1 {
+		sets = 1
+	}
+	lb := uint(0)
+	for (1 << lb) < lineBytes {
+		lb++
+	}
+	return &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lb,
+		tags:     make([]uint64, sets*ways),
+		lru:      make([]uint64, sets*ways),
+		policy:   policy,
+		rngSt:    0x9e3779b97f4a7c15,
+	}
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// ResetStats clears hit/miss counters but keeps contents (used to discard
+// cold-start warmup).
+func (c *Cache) ResetStats() {
+	c.Hits = 0
+	c.Misses = 0
+}
+
+func (c *Cache) nextRand() uint64 {
+	x := c.rngSt
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rngSt = x
+	return x
+}
+
+// Access touches the byte address and returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := (addr >> c.lineBits) + 1 // +1 so tag 0 means empty
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	c.stamp++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			c.Hits++
+			c.lru[base+w] = c.stamp
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: prefer an empty way.
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			c.tags[base+w] = line
+			c.lru[base+w] = c.stamp
+			return false
+		}
+	}
+	var victim int
+	if c.policy == RandomReplacement {
+		victim = int(c.nextRand() % uint64(c.ways))
+	} else {
+		oldest := c.lru[base]
+		for w := 1; w < c.ways; w++ {
+			if c.lru[base+w] < oldest {
+				oldest = c.lru[base+w]
+				victim = w
+			}
+		}
+	}
+	c.tags[base+victim] = line
+	c.lru[base+victim] = c.stamp
+	return false
+}
+
+// MissRate returns misses / accesses (0 when untouched).
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}

@@ -1,0 +1,107 @@
+// Package hw implements the simulated hardware substrate of the
+// reproduction. The paper characterizes BayesSuite with performance
+// counters on two physical Intel machines (Table II); since no such
+// hardware is available here, this package models them: a set-associative
+// last-level-cache simulator driven by synthetic working-set traces whose
+// sizes derive from each workload's real modeled data and autodiff tape,
+// an analytical core timing model (base IPC degraded by simulated miss
+// penalties), and a TDP-based energy model. See DESIGN.md for the
+// substitution argument: the paper's architectural story is "working set
+// vs. LLC capacity under chain-level sharing", and that mechanism is
+// simulated, not hard-coded.
+package hw
+
+// Platform describes one experiment machine (Table II) plus the timing
+// parameters the analytical model needs.
+type Platform struct {
+	// Table II columns.
+	Codename     string
+	Processor    string
+	Microarch    string
+	TechNM       int
+	TurboGHz     float64
+	Cores        int
+	LLCBytes     int64
+	BandwidthGBs float64
+	TDPWatts     float64
+
+	// Cache geometry.
+	LLCWays   int
+	LineBytes int
+	L1IKBytes int
+
+	// Timing-model parameters. Penalties are effective cycles per miss
+	// after memory-level parallelism (hence far below raw DRAM latency).
+	LLCMissPenalty    float64
+	ICacheMissPenalty float64
+	BranchMissPenalty float64
+	// UarchFactor scales base CPI: 1.0 for Skylake-class cores, >1 for
+	// the older Haswell-class core in the Broadwell server.
+	UarchFactor float64
+
+	// Power model: Power = Idle + (TDP-Idle) * (activeCores/Cores)^0.85.
+	IdleWatts float64
+}
+
+// Skylake is the desktop i7-6700K: few cores, high frequency, small LLC.
+var Skylake = Platform{
+	Codename:     "Skylake",
+	Processor:    "i7-6700K",
+	Microarch:    "Skylake",
+	TechNM:       14,
+	TurboGHz:     4.2,
+	Cores:        4,
+	LLCBytes:     8 << 20,
+	BandwidthGBs: 34.1,
+	TDPWatts:     91,
+
+	LLCWays:   16,
+	LineBytes: 64,
+	L1IKBytes: 32,
+
+	LLCMissPenalty:    60,
+	ICacheMissPenalty: 12,
+	BranchMissPenalty: 14,
+	UarchFactor:       1.0,
+
+	IdleWatts: 12,
+}
+
+// Broadwell is the server E5-2697A v4: many cores, modest frequency,
+// large LLC. (The paper's Table II lists its microarchitecture as
+// Haswell.)
+var Broadwell = Platform{
+	Codename:     "Broadwell",
+	Processor:    "E5-2697A v4",
+	Microarch:    "Haswell",
+	TechNM:       14,
+	TurboGHz:     3.6,
+	Cores:        16,
+	LLCBytes:     40 << 20,
+	BandwidthGBs: 78.8,
+	TDPWatts:     145,
+
+	LLCWays:   20,
+	LineBytes: 64,
+	L1IKBytes: 32,
+
+	LLCMissPenalty:    70,
+	ICacheMissPenalty: 14,
+	BranchMissPenalty: 15,
+	UarchFactor:       1.08,
+
+	IdleWatts: 40,
+}
+
+// Platforms lists the experiment machines in Table II order.
+var Platforms = []Platform{Skylake, Broadwell}
+
+// ByName returns the platform with the given codename, or false.
+func ByName(name string) (Platform, bool) {
+	for _, p := range Platforms {
+		if p.Codename == name {
+			return p, true
+		}
+	}
+	return Platform{}, false
+}

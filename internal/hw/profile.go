@@ -1,0 +1,122 @@
+package hw
+
+// Profile captures everything the hardware model needs to know about one
+// Bayesian inference job. The algorithmic fields (tape sizes, per-chain
+// work) are measured from real Go sampler runs; the static fields come
+// from the workload registry. See internal/perf for the profiler that
+// builds these.
+type Profile struct {
+	// Name is the workload name.
+	Name string
+	// ModeledDataBytes is the paper's static predictor feature (§V-A).
+	ModeledDataBytes int
+
+	// TapeNodes/TapeEdges are the measured autodiff-tape sizes of one
+	// log-density+gradient evaluation.
+	TapeNodes, TapeEdges int
+	// TapeWSSFactor scales tape bytes when estimating the working set
+	// (see workloads.Info.TapeWSSFactor).
+	TapeWSSFactor float64
+
+	// ChainWork is the total work units (gradient evaluations) each chain
+	// performs at the configured iteration count. Imbalance across
+	// entries creates the paper's slowest-chain effect.
+	ChainWork []int64
+	// Iterations/Chains echo the run configuration the work corresponds
+	// to.
+	Iterations, Chains int
+
+	// Static microarchitectural characteristics from the registry.
+	CodeKB     float64
+	BranchMPKI float64
+	BaseIPC    float64
+}
+
+// Working-set model constants. The resident set is the chain's total
+// LLC-relevant footprint (runtime, draw storage, model data, tape
+// arenas); the stream is the portion actively swept per evaluation
+// (modeled data + tape). The constants are calibrated so the suite
+// reproduces the paper's §VII-B capacity statements: non-bound workloads
+// fit 2 MB/core, ad and survival fit 10 MB/core, tickets does not.
+const (
+	// residentBaseBytes models the per-chain runtime footprint (the
+	// R/Stan interpreter state in the paper's setup).
+	residentBaseBytes = 768 << 10
+	// residentStreamFactor relates the per-eval stream to the resident
+	// set (draw storage, arena slack, framework copies).
+	residentStreamFactor = 4
+	// hotBytes is the per-chain hot region (parameters, sampler state)
+	// touched every evaluation.
+	hotBytes = 192 << 10
+	// tapeNodeBytes/tapeEdgeBytes are the arena entry sizes.
+	tapeNodeBytes = 8
+	tapeEdgeBytes = 12
+	// instrPerTapeOp converts tape operations to instructions: a Stan
+	// vari costs a couple dozen instructions across construction and the
+	// reverse sweep.
+	instrPerTapeOp = 15
+	// instrPerEvalBase is the fixed per-evaluation framework overhead.
+	instrPerEvalBase = 50_000
+)
+
+// tapeFactor returns the effective tape working-set factor.
+func (p *Profile) tapeFactor() float64 {
+	if p.TapeWSSFactor == 0 {
+		return 1
+	}
+	return p.TapeWSSFactor
+}
+
+// StreamBytes is the per-evaluation actively swept footprint.
+func (p *Profile) StreamBytes() int64 {
+	tape := float64(p.TapeNodes*tapeNodeBytes + p.TapeEdges*tapeEdgeBytes)
+	return int64(tape*p.tapeFactor()) + int64(p.ModeledDataBytes)
+}
+
+// ResidentBytes is the per-chain LLC-relevant footprint.
+func (p *Profile) ResidentBytes() int64 {
+	return residentBaseBytes + residentStreamFactor*p.StreamBytes()
+}
+
+// InstrPerEval is the modeled instruction cost of one gradient
+// evaluation. Note this uses the raw tape size (not the WSS-scaled one):
+// Stan's ODE solver does comparable arithmetic even though it does not
+// keep an O(steps) tape.
+func (p *Profile) InstrPerEval() float64 {
+	return instrPerTapeOp*float64(p.TapeEdges+2*p.TapeNodes) + instrPerEvalBase
+}
+
+// TotalWork sums per-chain work units.
+func (p *Profile) TotalWork() int64 {
+	var s int64
+	for _, w := range p.ChainWork {
+		s += w
+	}
+	return s
+}
+
+// ScaleIterations returns a copy of the profile with per-chain work
+// rescaled to a different iteration count (work scales linearly with
+// iterations once the sampler is adapted). Used by the DSE harness.
+func (p *Profile) ScaleIterations(iters int) *Profile {
+	cp := *p
+	cp.ChainWork = make([]int64, len(p.ChainWork))
+	f := float64(iters) / float64(p.Iterations)
+	for i, w := range p.ChainWork {
+		cp.ChainWork[i] = int64(float64(w) * f)
+	}
+	cp.Iterations = iters
+	return &cp
+}
+
+// WithChains returns a copy of the profile keeping only the first n
+// chains' work (the DSE chain-count axis).
+func (p *Profile) WithChains(n int) *Profile {
+	if n > len(p.ChainWork) {
+		n = len(p.ChainWork)
+	}
+	cp := *p
+	cp.ChainWork = append([]int64(nil), p.ChainWork[:n]...)
+	cp.Chains = n
+	return &cp
+}

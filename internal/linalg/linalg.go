@@ -1,0 +1,228 @@
+// Package linalg implements the small dense linear-algebra substrate that
+// the Gaussian-process workload (votes), the multivariate normal
+// distribution, and the mass-matrix machinery need: vectors, row-major
+// matrices, Cholesky factorization, and triangular solves.
+//
+// Only what BayesSuite requires is implemented; this is not a general BLAS.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%10.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// MulVec computes y = M * x. It panics on dimension mismatch.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul returns the matrix product m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic("linalg: Mul dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns m^T.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Cholesky computes the lower-triangular factor L with A = L L^T. A must be
+// symmetric positive definite; only the lower triangle of A is read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L y = b for lower-triangular L by forward substitution.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveLower dimension mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	return y
+}
+
+// SolveUpperT solves L^T x = y for lower-triangular L (i.e. backward
+// substitution against the transpose).
+func SolveUpperT(l *Matrix, y []float64) []float64 {
+	n := l.Rows
+	if len(y) != n {
+		panic("linalg: SolveUpperT dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// CholSolve solves A x = b given the Cholesky factor L of A.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	return SolveUpperT(l, SolveLower(l, b))
+}
+
+// LogDetFromChol returns log(det(A)) given the Cholesky factor L of A.
+func LogDetFromChol(l *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot dimension mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AXPY computes y += alpha * x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY dimension mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Copy returns a fresh copy of x.
+func Copy(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}

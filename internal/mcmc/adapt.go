@@ -1,0 +1,167 @@
+package mcmc
+
+import "math"
+
+// dualAveraging implements the Nesterov dual-averaging step-size
+// adaptation of Hoffman & Gelman (2014), as used by Stan: during warmup
+// the log step size is nudged so the average acceptance statistic matches
+// the target.
+type dualAveraging struct {
+	mu     float64 // shrinkage point, log(10 * eps0)
+	target float64 // target acceptance statistic
+	gamma  float64
+	t0     float64
+	kappa  float64
+
+	count  float64
+	hBar   float64
+	logEps float64
+	logBar float64
+}
+
+func newDualAveraging(eps0, target float64) *dualAveraging {
+	return &dualAveraging{
+		mu:     math.Log(10 * eps0),
+		target: target,
+		gamma:  0.05,
+		t0:     10,
+		kappa:  0.75,
+		logEps: math.Log(eps0),
+		logBar: math.Log(eps0),
+	}
+}
+
+// update consumes one acceptance statistic and returns the step size to
+// use for the next iteration.
+func (d *dualAveraging) update(acceptStat float64) float64 {
+	d.count++
+	eta := 1 / (d.count + d.t0)
+	d.hBar = (1-eta)*d.hBar + eta*(d.target-acceptStat)
+	d.logEps = d.mu - math.Sqrt(d.count)/d.gamma*d.hBar
+	w := math.Pow(d.count, -d.kappa)
+	d.logBar = w*d.logEps + (1-w)*d.logBar
+	return math.Exp(d.logEps)
+}
+
+// adapted returns the averaged (final) step size to freeze after warmup.
+func (d *dualAveraging) adapted() float64 { return math.Exp(d.logBar) }
+
+// restart re-centers the shrinkage point on the current step size; called
+// when the mass matrix changes mid-warmup.
+func (d *dualAveraging) restart(eps float64) {
+	d.mu = math.Log(10 * eps)
+	d.count = 0
+	d.hBar = 0
+	d.logEps = math.Log(eps)
+	d.logBar = math.Log(eps)
+}
+
+// welford accumulates online mean and variance per dimension for the
+// diagonal mass-matrix estimate.
+type welford struct {
+	n    float64
+	mean []float64
+	m2   []float64
+}
+
+func newWelford(dim int) *welford {
+	return &welford{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+func (w *welford) add(x []float64) {
+	w.n++
+	for i, v := range x {
+		d := v - w.mean[i]
+		w.mean[i] += d / w.n
+		w.m2[i] += d * (v - w.mean[i])
+	}
+}
+
+func (w *welford) reset() {
+	w.n = 0
+	for i := range w.mean {
+		w.mean[i] = 0
+		w.m2[i] = 0
+	}
+}
+
+// variance writes the regularized sample variance into out, shrunk toward
+// the unit metric exactly as Stan regularizes its diagonal estimate.
+func (w *welford) variance(out []float64) {
+	if w.n < 3 {
+		for i := range out {
+			out[i] = 1
+		}
+		return
+	}
+	scale := w.n / (w.n + 5)
+	for i := range out {
+		v := w.m2[i] / (w.n - 1)
+		out[i] = scale*v + (1-scale)*1e-3
+		if out[i] <= 0 || math.IsNaN(out[i]) {
+			out[i] = 1
+		}
+	}
+}
+
+// warmupSchedule reproduces Stan's three-phase warmup: a fast initial
+// buffer (step size only), a sequence of doubling slow windows (mass
+// matrix), and a fast terminal buffer.
+type warmupSchedule struct {
+	initBuffer int
+	termBuffer int
+	windowEnds []int // iteration indices at which the mass matrix updates
+	warmup     int
+}
+
+func newWarmupSchedule(warmup int) warmupSchedule {
+	s := warmupSchedule{warmup: warmup}
+	if warmup < 20 {
+		// Too short for windows; adapt step size the whole time.
+		s.initBuffer = warmup
+		return s
+	}
+	s.initBuffer = warmup * 15 / 100
+	if s.initBuffer < 10 {
+		s.initBuffer = 10
+	}
+	s.termBuffer = warmup * 10 / 100
+	if s.termBuffer < 10 {
+		s.termBuffer = 10
+	}
+	base := 25
+	pos := s.initBuffer
+	end := warmup - s.termBuffer
+	win := base
+	for pos+win <= end {
+		pos += win
+		// If the remaining space cannot fit the next doubled window,
+		// extend this window to the end of the slow phase.
+		if pos+2*win > end {
+			pos = end
+		}
+		s.windowEnds = append(s.windowEnds, pos)
+		win *= 2
+	}
+	if len(s.windowEnds) == 0 {
+		s.windowEnds = append(s.windowEnds, end)
+	}
+	return s
+}
+
+// inSlowWindow reports whether iteration it (0-based) accumulates mass
+// matrix statistics.
+func (s warmupSchedule) inSlowWindow(it int) bool {
+	return it >= s.initBuffer && it < s.warmup-s.termBuffer
+}
+
+// windowEnd reports whether the mass matrix should update after iteration
+// it.
+func (s warmupSchedule) windowEnd(it int) bool {
+	for _, e := range s.windowEnds {
+		if it+1 == e {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,268 @@
+// Package mcmc implements the sampling algorithms of the paper: the
+// Metropolis-Hastings baseline (Algorithm 1), static-path Hamiltonian
+// Monte Carlo, and the No-U-Turn Sampler (NUTS, Hoffman & Gelman 2014) —
+// the algorithm Stan runs and the one all BayesSuite characterization is
+// based on. A multi-chain runner executes independent chains (the paper's
+// chain-level parallelism, Algorithm 1 line 1) and accounts per-iteration
+// work in gradient evaluations, which the hardware model converts to
+// instructions.
+package mcmc
+
+import (
+	"fmt"
+	"math"
+
+	"bayessuite/internal/rng"
+)
+
+// Target is the density a sampler explores: an unnormalized log posterior
+// over an unconstrained parameter vector. model.Evaluator satisfies it.
+type Target interface {
+	Dim() int
+	LogDensityGrad(q, grad []float64) float64
+	LogDensity(q []float64) float64
+}
+
+// SamplerKind selects the sampling algorithm.
+type SamplerKind int
+
+const (
+	// NUTS is the No-U-Turn Sampler — the paper's subject algorithm.
+	NUTS SamplerKind = iota
+	// HMC is static-path Hamiltonian Monte Carlo (§IV-A's comparison).
+	HMC
+	// MetropolisHastings is the paper's Algorithm 1 — the naive baseline.
+	MetropolisHastings
+)
+
+// String returns the sampler name.
+func (k SamplerKind) String() string {
+	switch k {
+	case NUTS:
+		return "nuts"
+	case HMC:
+		return "hmc"
+	case MetropolisHastings:
+		return "mh"
+	}
+	return fmt.Sprintf("SamplerKind(%d)", int(k))
+}
+
+// Config controls a multi-chain run. Zero values take the documented
+// defaults, chosen to match the paper's setup (4 chains, Stan-like NUTS).
+type Config struct {
+	// Chains is the number of Markov chains (default 4, per Brooks et al.
+	// as cited in the paper §VI-A).
+	Chains int
+	// Iterations is the per-chain iteration budget (warmup included).
+	Iterations int
+	// WarmupFrac is the fraction of Iterations used for adaptation
+	// (default 0.5, Stan's convention).
+	WarmupFrac float64
+	// Sampler selects the algorithm (default NUTS).
+	Sampler SamplerKind
+	// Seed seeds chain RNG streams deterministically.
+	Seed uint64
+	// TargetAccept is the dual-averaging target acceptance statistic
+	// (default 0.8, Stan's default).
+	TargetAccept float64
+	// MaxDepth bounds the NUTS doubling depth (default 10).
+	MaxDepth int
+	// IntTime is the HMC integration time (default 1.0).
+	IntTime float64
+	// MHScale is the Metropolis proposal scale before adaptation
+	// (default 0.5).
+	MHScale float64
+	// InitRadius: initial points are drawn uniform(-r, r) per dimension
+	// on the unconstrained scale (default 2, Stan's convention).
+	InitRadius float64
+	// Parallel runs chains on separate goroutines (the paper's multicore
+	// execution mode). With a StopRule the chains still advance in
+	// lockstep rounds (the convergence check needs aligned draws), but
+	// each round's chain steps run concurrently.
+	Parallel bool
+	// StopRule, when non-nil, is consulted every CheckInterval iterations
+	// with the draws so far; returning true terminates all chains (the
+	// paper's computation elision, §VI).
+	StopRule StopRule
+	// CheckInterval is how often (in iterations) StopRule runs
+	// (default 50).
+	CheckInterval int
+	// MinIterations is the floor before StopRule may fire (default 100).
+	MinIterations int
+	// DisableMassAdaptation keeps the unit diagonal metric throughout
+	// warmup (the mass-matrix ablation in DESIGN.md).
+	DisableMassAdaptation bool
+}
+
+// StopRule decides whether sampling has converged. draws[c][i] is the i-th
+// draw of chain c; iter is the number of completed iterations.
+type StopRule interface {
+	ShouldStop(draws [][][]float64, iter int) bool
+}
+
+// withDefaults returns a copy of c with defaults filled in.
+func (c Config) withDefaults() Config {
+	if c.Chains == 0 {
+		c.Chains = 4
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 2000
+	}
+	if c.WarmupFrac == 0 {
+		c.WarmupFrac = 0.5
+	}
+	if c.TargetAccept == 0 {
+		c.TargetAccept = 0.8
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 10
+	}
+	if c.IntTime == 0 {
+		c.IntTime = 1.0
+	}
+	if c.MHScale == 0 {
+		c.MHScale = 0.5
+	}
+	if c.InitRadius == 0 {
+		c.InitRadius = 2
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = 50
+	}
+	if c.MinIterations == 0 {
+		c.MinIterations = 100
+	}
+	return c
+}
+
+// ChainResult holds everything one chain produced.
+type ChainResult struct {
+	// Draws holds every iteration's unconstrained draw (warmup included;
+	// diagnostics discard the first half, matching the paper).
+	Draws [][]float64
+	// LogDensity holds the log density of each draw.
+	LogDensity []float64
+	// Work holds gradient evaluations per iteration (leapfrog steps for
+	// HMC/NUTS; density evaluations for MH). This is the work-unit stream
+	// the hardware model consumes, and its per-chain imbalance produces
+	// the paper's slowest-chain effect (§VI-A).
+	Work []int64
+	// Divergences counts divergent NUTS trajectories.
+	Divergences int
+	// StepSize is the adapted leapfrog step size after warmup.
+	StepSize float64
+	// AcceptRate is the mean acceptance statistic post-warmup.
+	AcceptRate float64
+}
+
+// TotalWork sums the chain's work units.
+func (c *ChainResult) TotalWork() int64 {
+	var s int64
+	for _, w := range c.Work {
+		s += w
+	}
+	return s
+}
+
+// Result is the outcome of a multi-chain run.
+type Result struct {
+	Chains []*ChainResult
+	// Iterations is the per-chain iteration count actually executed
+	// (smaller than Config.Iterations when elision fired).
+	Iterations int
+	// Elided reports whether the StopRule terminated the run early.
+	Elided bool
+	// Config echoes the effective configuration.
+	Config Config
+}
+
+// Draws returns draws[c][i] for all chains, truncated to the executed
+// iteration count.
+func (r *Result) Draws() [][][]float64 {
+	out := make([][][]float64, len(r.Chains))
+	for i, c := range r.Chains {
+		out[i] = c.Draws
+	}
+	return out
+}
+
+// SecondHalfDraws returns, flattened per chain, the second half of each
+// chain's draws — the portion the paper uses for inference (§VI-A).
+func (r *Result) SecondHalfDraws() [][][]float64 {
+	out := make([][][]float64, len(r.Chains))
+	for i, c := range r.Chains {
+		h := len(c.Draws) / 2
+		out[i] = c.Draws[h:]
+	}
+	return out
+}
+
+// TotalWork sums work units across chains.
+func (r *Result) TotalWork() int64 {
+	var s int64
+	for _, c := range r.Chains {
+		s += c.TotalWork()
+	}
+	return s
+}
+
+// MaxChainWork returns the largest per-chain total work — the multicore
+// critical path (the paper's "latency constrained by the slowest chain").
+func (r *Result) MaxChainWork() int64 {
+	var m int64
+	for _, c := range r.Chains {
+		if w := c.TotalWork(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// MinChainWork returns the smallest per-chain total work.
+func (r *Result) MinChainWork() int64 {
+	m := int64(math.MaxInt64)
+	for _, c := range r.Chains {
+		if w := c.TotalWork(); w < m {
+			m = w
+		}
+	}
+	if m == math.MaxInt64 {
+		return 0
+	}
+	return m
+}
+
+// stepper is the internal single-chain sampler interface. Step advances
+// one iteration in place and returns the iteration's work units.
+type stepper interface {
+	// Init sets the starting point.
+	Init(q []float64)
+	// Step performs one transition; returns the new draw's log density
+	// and the work spent.
+	Step() (lp float64, work int64)
+	// Current returns the current position (borrowed; callers copy).
+	Current() []float64
+	// EndWarmup freezes adaptation.
+	EndWarmup()
+	// AcceptStat returns the last acceptance statistic in [0, 1].
+	AcceptStat() float64
+	// StepSize returns the current step/proposal scale.
+	StepSize() float64
+	// Divergent reports whether the last step diverged.
+	Divergent() bool
+}
+
+// newStepper builds the configured sampler for one chain.
+func newStepper(cfg Config, target Target, r *rng.RNG, warmup int) stepper {
+	switch cfg.Sampler {
+	case MetropolisHastings:
+		return newMHSampler(target, r, cfg.MHScale, warmup)
+	case HMC:
+		return newHMCSampler(target, r, cfg.TargetAccept, cfg.IntTime, warmup)
+	default:
+		ns := newNUTSSampler(target, r, cfg.TargetAccept, cfg.MaxDepth, warmup)
+		ns.noMass = cfg.DisableMassAdaptation
+		return ns
+	}
+}

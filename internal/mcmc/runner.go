@@ -1,0 +1,184 @@
+package mcmc
+
+import (
+	"sync"
+
+	"bayessuite/internal/rng"
+)
+
+// TargetFactory builds one Target per chain. Targets hold mutable tape
+// state, so each chain needs its own instance.
+type TargetFactory func() Target
+
+// Run executes a multi-chain MCMC run with the given configuration.
+//
+// Without a StopRule, chains are independent and (optionally) run in
+// parallel — the paper's coarse-grained chain-level parallelism. With a
+// StopRule, chains advance in lockstep rounds and the rule is consulted
+// every CheckInterval iterations — the paper's runtime convergence
+// detection (computation elision, §VI).
+func Run(cfg Config, factory TargetFactory) *Result {
+	cfg = cfg.withDefaults()
+	warmup := int(float64(cfg.Iterations) * cfg.WarmupFrac)
+
+	chains := make([]*ChainResult, cfg.Chains)
+	steppers := make([]stepper, cfg.Chains)
+	targets := make([]Target, cfg.Chains)
+	for c := 0; c < cfg.Chains; c++ {
+		targets[c] = factory()
+		r := rng.NewStream(cfg.Seed, c)
+		st := newStepper(cfg, targets[c], r, warmup)
+		q0 := initPoint(targets[c], rng.NewStream(cfg.Seed^0xabcdef, c), cfg.InitRadius)
+		st.Init(q0)
+		steppers[c] = st
+		chains[c] = &ChainResult{
+			Draws:      make([][]float64, 0, cfg.Iterations),
+			LogDensity: make([]float64, 0, cfg.Iterations),
+			Work:       make([]int64, 0, cfg.Iterations),
+		}
+	}
+
+	if cfg.StopRule == nil {
+		runFree(cfg, steppers, chains)
+		return finish(cfg, chains, cfg.Iterations, false)
+	}
+	iters, elided := runLockstep(cfg, steppers, chains)
+	return finish(cfg, chains, iters, elided)
+}
+
+// initPoint draws a uniform(-r, r) starting point, retrying until the
+// density is finite (Stan's initialization strategy).
+func initPoint(t Target, r *rng.RNG, radius float64) []float64 {
+	dim := t.Dim()
+	q := make([]float64, dim)
+	for attempt := 0; attempt < 100; attempt++ {
+		for i := range q {
+			q[i] = (2*r.Float64() - 1) * radius
+		}
+		if lp := t.LogDensity(q); !isNegInf(lp) && !isNaN(lp) {
+			return q
+		}
+	}
+	for i := range q {
+		q[i] = 0
+	}
+	return q
+}
+
+func isNegInf(x float64) bool { return x < -1e300 }
+func isNaN(x float64) bool    { return x != x }
+
+// runFree runs every chain to its full iteration budget, in parallel when
+// configured.
+func runFree(cfg Config, steppers []stepper, chains []*ChainResult) {
+	runChain := func(c int) {
+		st := steppers[c]
+		res := chains[c]
+		for i := 0; i < cfg.Iterations; i++ {
+			lp, work := st.Step()
+			res.Draws = append(res.Draws, snapshot(st.Current()))
+			res.LogDensity = append(res.LogDensity, lp)
+			res.Work = append(res.Work, work)
+			if st.Divergent() {
+				res.Divergences++
+			}
+		}
+		st.EndWarmup()
+		res.StepSize = st.StepSize()
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		for c := range steppers {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				runChain(c)
+			}(c)
+		}
+		wg.Wait()
+	} else {
+		for c := range steppers {
+			runChain(c)
+		}
+	}
+	finalizeAcceptance(cfg, chains, steppers)
+}
+
+// runLockstep advances all chains one iteration per round and consults the
+// stop rule periodically. With cfg.Parallel the chains within a round run
+// on separate goroutines (they are independent, so results are identical
+// to sequential execution). Returns executed iterations and whether the
+// run was elided.
+func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult) (int, bool) {
+	draws := make([][][]float64, len(chains))
+	acceptSums := make([]float64, len(chains))
+	stepOne := func(c int, st stepper) {
+		lp, work := st.Step()
+		res := chains[c]
+		res.Draws = append(res.Draws, snapshot(st.Current()))
+		res.LogDensity = append(res.LogDensity, lp)
+		res.Work = append(res.Work, work)
+		acceptSums[c] += st.AcceptStat()
+		if st.Divergent() {
+			res.Divergences++
+		}
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		if cfg.Parallel && len(steppers) > 1 {
+			var wg sync.WaitGroup
+			for c, st := range steppers {
+				wg.Add(1)
+				go func(c int, st stepper) {
+					defer wg.Done()
+					stepOne(c, st)
+				}(c, st)
+			}
+			wg.Wait()
+		} else {
+			for c, st := range steppers {
+				stepOne(c, st)
+			}
+		}
+		done := it + 1
+		if done >= cfg.MinIterations && done%cfg.CheckInterval == 0 {
+			for c := range chains {
+				draws[c] = chains[c].Draws
+			}
+			if cfg.StopRule.ShouldStop(draws, done) {
+				for c, st := range steppers {
+					st.EndWarmup()
+					chains[c].StepSize = st.StepSize()
+					chains[c].AcceptRate = acceptSums[c] / float64(done)
+				}
+				return done, true
+			}
+		}
+	}
+	for c, st := range steppers {
+		st.EndWarmup()
+		chains[c].StepSize = st.StepSize()
+		chains[c].AcceptRate = acceptSums[c] / float64(cfg.Iterations)
+	}
+	return cfg.Iterations, false
+}
+
+func finalizeAcceptance(cfg Config, chains []*ChainResult, steppers []stepper) {
+	// Free-running mode reports the last acceptance statistic as a cheap
+	// proxy; lockstep mode accumulates the true mean.
+	for c, st := range steppers {
+		if chains[c].AcceptRate == 0 {
+			chains[c].AcceptRate = st.AcceptStat()
+		}
+	}
+}
+
+// finish assembles the Result.
+func finish(cfg Config, chains []*ChainResult, iters int, elided bool) *Result {
+	return &Result{Chains: chains, Iterations: iters, Elided: elided, Config: cfg}
+}
+
+func snapshot(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}

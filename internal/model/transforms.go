@@ -1,0 +1,161 @@
+package model
+
+import (
+	"math"
+
+	"bayessuite/internal/ad"
+	"bayessuite/internal/mathx"
+)
+
+// Builder accumulates a log posterior on a tape and provides the standard
+// Stan constrained-parameter transforms, each of which adds its log
+// absolute Jacobian determinant to the accumulator so the density is
+// correct on the unconstrained scale.
+type Builder struct {
+	T  *ad.Tape
+	lp ad.Var
+	ok bool
+}
+
+// NewBuilder returns a Builder over tape t with zero accumulated density.
+func NewBuilder(t *ad.Tape) *Builder {
+	return &Builder{T: t}
+}
+
+// Add accumulates a log-density term.
+func (b *Builder) Add(term ad.Var) {
+	if !b.ok {
+		b.lp = term
+		b.ok = true
+		return
+	}
+	b.lp = b.T.Add(b.lp, term)
+}
+
+// Result returns the accumulated log density (a zero constant if nothing
+// was added).
+func (b *Builder) Result() ad.Var {
+	if !b.ok {
+		return ad.Const(0)
+	}
+	return b.lp
+}
+
+// Lower transforms unconstrained q to x = lb + exp(q) (support (lb, inf))
+// and adds the Jacobian term q.
+func (b *Builder) Lower(q ad.Var, lb float64) ad.Var {
+	b.Add(q)
+	return b.T.AddConst(b.T.Exp(q), lb)
+}
+
+// Positive is Lower with bound 0: x = exp(q).
+func (b *Builder) Positive(q ad.Var) ad.Var { return b.Lower(q, 0) }
+
+// Upper transforms q to x = ub - exp(q) (support (-inf, ub)) and adds the
+// Jacobian term q.
+func (b *Builder) Upper(q ad.Var, ub float64) ad.Var {
+	b.Add(q)
+	return b.T.SubFromConst(ub, b.T.Exp(q))
+}
+
+// LowerUpper transforms q to x = lb + (ub-lb) * invlogit(q) (support
+// (lb, ub)) and adds log(ub-lb) + log sigmoid(q) + log sigmoid(-q).
+func (b *Builder) LowerUpper(q ad.Var, lb, ub float64) ad.Var {
+	t := b.T
+	s := t.InvLogit(q)
+	// log Jacobian = log(ub-lb) - log1pexp(q) - log1pexp(-q)
+	lj := t.Neg(t.Add(t.Log1pExp(q), t.Log1pExp(t.Neg(q))))
+	b.Add(t.AddConst(lj, math.Log(ub-lb)))
+	return t.AddConst(t.MulConst(s, ub-lb), lb)
+}
+
+// Prob is LowerUpper on (0, 1).
+func (b *Builder) Prob(q ad.Var) ad.Var { return b.LowerUpper(q, 0, 1) }
+
+// Ordered transforms q (length K) to a strictly increasing vector:
+// x[0] = q[0], x[k] = x[k-1] + exp(q[k]). Jacobian adds sum_{k>=1} q[k].
+// Used by the disease-progression (I-splines) and memory workloads.
+func (b *Builder) Ordered(q []ad.Var) []ad.Var {
+	t := b.T
+	out := make([]ad.Var, len(q))
+	if len(q) == 0 {
+		return out
+	}
+	out[0] = q[0]
+	for k := 1; k < len(q); k++ {
+		b.Add(q[k])
+		out[k] = t.Add(out[k-1], t.Exp(q[k]))
+	}
+	return out
+}
+
+// Simplex maps K-1 unconstrained values to a K-simplex via Stan's
+// stick-breaking construction, adding the log Jacobian.
+func (b *Builder) Simplex(q []ad.Var) []ad.Var {
+	t := b.T
+	k := len(q) + 1
+	out := make([]ad.Var, k)
+	stick := ad.Const(1)
+	for i, qi := range q {
+		// z_i = invlogit(q_i + log(1/(K-i-1)))
+		adj := -math.Log(float64(k - i - 1))
+		zi := t.InvLogit(t.AddConst(qi, adj))
+		// log Jacobian term: log(stick) + log(z) + log(1-z)
+		lz := t.Log(zi)
+		l1z := t.Log1p(t.Neg(zi))
+		b.Add(t.Add(t.Log(stick), t.Add(lz, l1z)))
+		out[i] = t.Mul(stick, zi)
+		stick = t.Sub(stick, out[i])
+	}
+	out[k-1] = stick
+	return out
+}
+
+// ---- Plain-float counterparts for constraining posterior draws ----
+
+// ConstrainLower maps q to lb + exp(q).
+func ConstrainLower(q, lb float64) float64 { return lb + math.Exp(q) }
+
+// ConstrainUpper maps q to ub - exp(q).
+func ConstrainUpper(q, ub float64) float64 { return ub - math.Exp(q) }
+
+// ConstrainLowerUpper maps q into (lb, ub).
+func ConstrainLowerUpper(q, lb, ub float64) float64 {
+	return lb + (ub-lb)*mathx.InvLogit(q)
+}
+
+// ConstrainOrdered maps q to a strictly increasing vector.
+func ConstrainOrdered(q []float64) []float64 {
+	out := make([]float64, len(q))
+	if len(q) == 0 {
+		return out
+	}
+	out[0] = q[0]
+	for k := 1; k < len(q); k++ {
+		out[k] = out[k-1] + math.Exp(q[k])
+	}
+	return out
+}
+
+// ConstrainSimplex maps K-1 unconstrained values to a K-simplex.
+func ConstrainSimplex(q []float64) []float64 {
+	k := len(q) + 1
+	out := make([]float64, k)
+	stick := 1.0
+	for i, qi := range q {
+		adj := -math.Log(float64(k - i - 1))
+		z := mathx.InvLogit(qi + adj)
+		out[i] = stick * z
+		stick -= out[i]
+	}
+	out[k-1] = stick
+	return out
+}
+
+// UnconstrainLower inverts ConstrainLower.
+func UnconstrainLower(x, lb float64) float64 { return math.Log(x - lb) }
+
+// UnconstrainLowerUpper inverts ConstrainLowerUpper.
+func UnconstrainLowerUpper(x, lb, ub float64) float64 {
+	return mathx.Logit((x - lb) / (ub - lb))
+}

@@ -1,0 +1,190 @@
+// Package ode implements the ordinary-differential-equation substrate the
+// `ode` workload (Friberg-Karlsson semi-mechanistic PK/PD model) needs:
+// an adaptive Dormand-Prince RK45 integrator for data synthesis, and a
+// fixed-step RK4 integrator that operates on autodiff variables so the
+// sampler can differentiate through the solution with respect to the model
+// parameters (the role Stan's coupled sensitivity ODE solver plays).
+package ode
+
+import (
+	"errors"
+	"math"
+
+	"bayessuite/internal/ad"
+)
+
+// System is the right-hand side dy/dt = f(t, y) on plain floats.
+type System func(t float64, y, dydt []float64)
+
+// ErrStepUnderflow is returned when the adaptive integrator cannot meet
+// the tolerance with a reasonable step size.
+var ErrStepUnderflow = errors.New("ode: step size underflow")
+
+// RK45 integrates sys from t0 to t1 starting at y0 using the
+// Dormand-Prince 5(4) embedded pair with adaptive step-size control, and
+// returns the state at t1. rtol/atol are relative/absolute tolerances.
+func RK45(sys System, y0 []float64, t0, t1, rtol, atol float64) ([]float64, error) {
+	n := len(y0)
+	y := append([]float64(nil), y0...)
+	if t1 == t0 {
+		return y, nil
+	}
+	dir := 1.0
+	if t1 < t0 {
+		dir = -1
+	}
+	h := dir * (math.Abs(t1-t0) / 100)
+	if h == 0 {
+		h = dir * 1e-6
+	}
+
+	// Dormand-Prince coefficients.
+	c := [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
+	a := [7][6]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+	}
+	b5 := [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+	b4 := [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+
+	k := make([][]float64, 7)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	ytmp := make([]float64, n)
+	t := t0
+	for steps := 0; dir*(t1-t) > 1e-14*math.Abs(t1); steps++ {
+		if steps > 1_000_000 {
+			return nil, ErrStepUnderflow
+		}
+		if dir*(t+h-t1) > 0 {
+			h = t1 - t
+		}
+		sys(t, y, k[0])
+		for s := 1; s < 7; s++ {
+			for i := 0; i < n; i++ {
+				acc := y[i]
+				for j := 0; j < s; j++ {
+					acc += h * a[s][j] * k[j][i]
+				}
+				ytmp[i] = acc
+			}
+			sys(t+c[s]*h, ytmp, k[s])
+		}
+		// 5th-order solution and error estimate.
+		errNorm := 0.0
+		for i := 0; i < n; i++ {
+			y5 := y[i]
+			y4 := y[i]
+			for s := 0; s < 7; s++ {
+				y5 += h * b5[s] * k[s][i]
+				y4 += h * b4[s] * k[s][i]
+			}
+			sc := atol + rtol*math.Max(math.Abs(y[i]), math.Abs(y5))
+			e := (y5 - y4) / sc
+			errNorm += e * e
+			ytmp[i] = y5
+		}
+		errNorm = math.Sqrt(errNorm / float64(n))
+		if errNorm <= 1 || math.Abs(h) < 1e-12 {
+			t += h
+			copy(y, ytmp)
+		}
+		// PI-ish step-size update.
+		fac := 0.9 * math.Pow(math.Max(errNorm, 1e-10), -0.2)
+		fac = math.Min(5, math.Max(0.2, fac))
+		h *= fac
+		if math.Abs(h) < 1e-14 {
+			return nil, ErrStepUnderflow
+		}
+	}
+	return y, nil
+}
+
+// SolveAt integrates sys and returns the state at each requested time in
+// ts (which must be increasing and start at or after t0).
+func SolveAt(sys System, y0 []float64, t0 float64, ts []float64, rtol, atol float64) ([][]float64, error) {
+	out := make([][]float64, len(ts))
+	y := append([]float64(nil), y0...)
+	t := t0
+	for i, tt := range ts {
+		next, err := RK45(sys, y, t, tt, rtol, atol)
+		if err != nil {
+			return nil, err
+		}
+		y = next
+		t = tt
+		out[i] = append([]float64(nil), y...)
+	}
+	return out, nil
+}
+
+// SystemVar is the right-hand side on autodiff variables; it must build
+// dydt entirely from tape operations on y and the captured parameters.
+type SystemVar func(tp *ad.Tape, t float64, y, dydt []ad.Var)
+
+// RK4Var integrates sysv with the classical fixed-step RK4 scheme on the
+// tape, recording every arithmetic operation so the result carries
+// gradients back to the parameters captured by sysv. nsteps fixed steps
+// are taken from t0 to t1.
+func RK4Var(tp *ad.Tape, sysv SystemVar, y0 []ad.Var, t0, t1 float64, nsteps int) []ad.Var {
+	n := len(y0)
+	if nsteps < 1 {
+		nsteps = 1
+	}
+	h := (t1 - t0) / float64(nsteps)
+	y := append([]ad.Var(nil), y0...)
+	k1 := make([]ad.Var, n)
+	k2 := make([]ad.Var, n)
+	k3 := make([]ad.Var, n)
+	k4 := make([]ad.Var, n)
+	tmp := make([]ad.Var, n)
+	t := t0
+	for s := 0; s < nsteps; s++ {
+		sysv(tp, t, y, k1)
+		for i := 0; i < n; i++ {
+			tmp[i] = tp.Add(y[i], tp.MulConst(k1[i], h/2))
+		}
+		sysv(tp, t+h/2, tmp, k2)
+		for i := 0; i < n; i++ {
+			tmp[i] = tp.Add(y[i], tp.MulConst(k2[i], h/2))
+		}
+		sysv(tp, t+h/2, tmp, k3)
+		for i := 0; i < n; i++ {
+			tmp[i] = tp.Add(y[i], tp.MulConst(k3[i], h))
+		}
+		sysv(tp, t+h, tmp, k4)
+		for i := 0; i < n; i++ {
+			// y += h/6 * (k1 + 2k2 + 2k3 + k4)
+			s1 := tp.Add(k1[i], tp.MulConst(k2[i], 2))
+			s2 := tp.Add(tp.MulConst(k3[i], 2), k4[i])
+			y[i] = tp.Add(y[i], tp.MulConst(tp.Add(s1, s2), h/6))
+		}
+		t += h
+	}
+	return y
+}
+
+// RK4VarAt integrates sysv and returns the state at each time in ts.
+// stepsPerUnit controls resolution (steps per unit time, minimum 1 step
+// per interval).
+func RK4VarAt(tp *ad.Tape, sysv SystemVar, y0 []ad.Var, t0 float64, ts []float64, stepsPerUnit float64) [][]ad.Var {
+	out := make([][]ad.Var, len(ts))
+	y := append([]ad.Var(nil), y0...)
+	t := t0
+	for i, tt := range ts {
+		n := int(math.Ceil((tt - t) * stepsPerUnit))
+		if n < 1 {
+			n = 1
+		}
+		y = RK4Var(tp, sysv, y, t, tt, n)
+		t = tt
+		out[i] = append([]ad.Var(nil), y...)
+	}
+	return out
+}

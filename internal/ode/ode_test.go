@@ -1,0 +1,119 @@
+package ode
+
+import (
+	"math"
+	"testing"
+
+	"bayessuite/internal/ad"
+)
+
+// TestRK45ExponentialDecay: dy/dt = -2y has the closed form y0*exp(-2t).
+func TestRK45ExponentialDecay(t *testing.T) {
+	sys := func(_ float64, y, dy []float64) { dy[0] = -2 * y[0] }
+	y, err := RK45(sys, []float64{3}, 0, 2, 1e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * math.Exp(-4)
+	if math.Abs(y[0]-want) > 1e-7 {
+		t.Errorf("y(2) = %.10g want %.10g", y[0], want)
+	}
+}
+
+// TestRK45Harmonic: the harmonic oscillator conserves energy and has a
+// sinusoidal closed form.
+func TestRK45Harmonic(t *testing.T) {
+	sys := func(_ float64, y, dy []float64) {
+		dy[0] = y[1]
+		dy[1] = -y[0]
+	}
+	y, err := RK45(sys, []float64{1, 0}, 0, 2*math.Pi, 1e-10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-6 || math.Abs(y[1]) > 1e-6 {
+		t.Errorf("after one period: (%g, %g), want (1, 0)", y[0], y[1])
+	}
+}
+
+// TestRK45BackwardIntegration integrates in reverse time.
+func TestRK45BackwardIntegration(t *testing.T) {
+	sys := func(_ float64, y, dy []float64) { dy[0] = y[0] }
+	y, err := RK45(sys, []float64{math.E}, 1, 0, 1e-10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-7 {
+		t.Errorf("backward y(0) = %g want 1", y[0])
+	}
+}
+
+func TestSolveAtMonotoneGrid(t *testing.T) {
+	sys := func(_ float64, y, dy []float64) { dy[0] = -y[0] }
+	ts := []float64{0.5, 1, 2, 4}
+	out, err := SolveAt(sys, []float64{1}, 0, ts, 1e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		want := math.Exp(-tt)
+		if math.Abs(out[i][0]-want) > 1e-7 {
+			t.Errorf("y(%g) = %g want %g", tt, out[i][0], want)
+		}
+	}
+}
+
+func TestRK45ZeroSpan(t *testing.T) {
+	sys := func(_ float64, y, dy []float64) { dy[0] = y[0] }
+	y, err := RK45(sys, []float64{5}, 1, 1, 1e-9, 1e-12)
+	if err != nil || y[0] != 5 {
+		t.Errorf("zero-span integration changed state: %v %v", y, err)
+	}
+}
+
+// TestRK4VarValueAndGradient: for dy/dt = -k*y, y(t) = y0 exp(-k t); the
+// gradient dy(t)/dk = -t*y(t) must come out of the taped integration.
+func TestRK4VarValueAndGradient(t *testing.T) {
+	tp := ad.NewTape(0)
+	k0 := 1.3
+	q := tp.Input([]float64{k0})
+	k := q[0]
+	sysv := func(tp2 *ad.Tape, _ float64, y, dy []ad.Var) {
+		dy[0] = tp2.Neg(tp2.Mul(k, y[0]))
+	}
+	const T = 1.5
+	out := RK4Var(tp, sysv, []ad.Var{ad.Const(2)}, 0, T, 200)
+	want := 2 * math.Exp(-k0*T)
+	if math.Abs(out[0].Value()-want) > 1e-6 {
+		t.Errorf("value %.8g want %.8g", out[0].Value(), want)
+	}
+	grad := make([]float64, 1)
+	tp.Grad(out[0], grad)
+	wantGrad := -T * want
+	if math.Abs(grad[0]-wantGrad) > 1e-5 {
+		t.Errorf("dy/dk = %.8g want %.8g", grad[0], wantGrad)
+	}
+}
+
+func TestRK4VarAtMatchesRK45(t *testing.T) {
+	// Nonlinear logistic growth; compare taped RK4 to the adaptive
+	// float integrator.
+	sysF := func(_ float64, y, dy []float64) { dy[0] = y[0] * (1 - y[0]) }
+	ts := []float64{0.5, 1.5, 3}
+	ref, err := SolveAt(sysF, []float64{0.1}, 0, ts, 1e-10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tp := ad.NewTape(0)
+	tp.Input(nil)
+	sysV := func(tp2 *ad.Tape, _ float64, y, dy []ad.Var) {
+		dy[0] = tp2.Mul(y[0], tp2.SubFromConst(1, y[0]))
+	}
+	out := RK4VarAt(tp, sysV, []ad.Var{ad.Const(0.1)}, 0, ts, 50)
+	for i := range ts {
+		if math.Abs(out[i][0].Value()-ref[i][0]) > 1e-5 {
+			t.Errorf("t=%g: RK4Var %.8g vs RK45 %.8g", ts[i], out[i][0].Value(), ref[i][0])
+		}
+	}
+}

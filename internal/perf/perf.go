@@ -1,0 +1,153 @@
+// Package perf bridges the algorithmic and hardware layers: it profiles a
+// BayesSuite workload by running the real Go sampler briefly, measuring
+// the autodiff tape footprint and the per-chain work rates, and packages
+// the result as an hw.Profile the hardware model can characterize at any
+// platform/core-count/iteration configuration.
+package perf
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"bayessuite/internal/hw"
+	"bayessuite/internal/mcmc"
+	"bayessuite/internal/model"
+	"bayessuite/internal/workloads"
+)
+
+// Options configures profiling.
+type Options struct {
+	// ProfileIterations is the length of the measurement run
+	// (default 120; the per-iteration work rate stabilizes quickly).
+	ProfileIterations int
+	// Seed seeds the measurement run.
+	Seed uint64
+	// Parallel runs the measurement chains concurrently.
+	Parallel bool
+	// Sampler selects the measured algorithm (default NUTS; the §IV-A
+	// HMC aside uses HMC).
+	Sampler mcmc.SamplerKind
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProfileIterations == 0 {
+		o.ProfileIterations = 120
+	}
+	if o.Seed == 0 {
+		o.Seed = 1234
+	}
+	return o
+}
+
+// Static builds a profile without running the sampler: tape sizes are
+// measured with one gradient evaluation and per-chain work is filled with
+// the nominal NUTS cost. Sufficient for cache simulations (Fig. 3), which
+// depend on footprints rather than work totals.
+func Static(w *workloads.Workload) *hw.Profile {
+	nodes, edges := measureTape(w)
+	p := baseProfile(w, nodes, edges)
+	nominal := int64(32 * w.Info.Iterations) // ~32 leapfrogs/iteration
+	for c := 0; c < w.Info.Chains; c++ {
+		p.ChainWork = append(p.ChainWork, nominal)
+	}
+	return p
+}
+
+// Measure builds a full profile: tape sizes plus per-chain work rates
+// from a short real NUTS run, extrapolated to the workload's configured
+// iteration count.
+func Measure(w *workloads.Workload, opt Options) *hw.Profile {
+	opt = opt.withDefaults()
+	nodes, edges := measureTape(w)
+	p := baseProfile(w, nodes, edges)
+
+	res := mcmc.Run(mcmc.Config{
+		Chains:     w.Info.Chains,
+		Iterations: opt.ProfileIterations,
+		Seed:       opt.Seed,
+		Parallel:   opt.Parallel,
+		Sampler:    opt.Sampler,
+	}, func() mcmc.Target { return model.NewEvaluator(w.Model) })
+
+	// Post-warmup work rate per chain (trees shrink once the step size
+	// adapts). The median over the window is robust to the occasional
+	// max-depth excursion, and partial pooling toward the cross-chain
+	// median keeps a short measurement run from extrapolating sampling
+	// noise into a phantom straggler chain — real chain imbalance (the
+	// paper's slowest-chain effect) still comes through at half weight.
+	rates := make([]float64, len(res.Chains))
+	for c, ch := range res.Chains {
+		half := len(ch.Work) / 2
+		window := append([]int64(nil), ch.Work[half:]...)
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		rates[c] = float64(window[len(window)/2])
+	}
+	pooled := append([]float64(nil), rates...)
+	sort.Float64s(pooled)
+	grand := pooled[len(pooled)/2]
+	for _, rate := range rates {
+		// A chain still climbing out of a bad warmup region can show a
+		// many-fold rate in a 100-iteration window; cap the per-chain
+		// estimate at twice the suite-typical imbalance before blending.
+		if grand > 0 && rate > 2*grand {
+			rate = 2 * grand
+		}
+		blended := 0.5*rate + 0.5*grand
+		p.ChainWork = append(p.ChainWork, int64(math.Round(blended*float64(w.Info.Iterations))))
+	}
+	return p
+}
+
+func baseProfile(w *workloads.Workload, nodes, edges int) *hw.Profile {
+	return &hw.Profile{
+		Name:             w.Info.Name,
+		ModeledDataBytes: w.ModeledDataBytes(),
+		TapeNodes:        nodes,
+		TapeEdges:        edges,
+		TapeWSSFactor:    w.Info.TapeFactor(),
+		Iterations:       w.Info.Iterations,
+		Chains:           w.Info.Chains,
+		CodeKB:           w.Info.CodeKB,
+		BranchMPKI:       w.Info.BranchMPKI,
+		BaseIPC:          w.Info.BaseIPC,
+	}
+}
+
+// measureTape evaluates the log density and gradient once and reads the
+// tape arena sizes.
+func measureTape(w *workloads.Workload) (nodes, edges int) {
+	ev := model.NewEvaluator(w.Model)
+	q := make([]float64, ev.Dim())
+	grad := make([]float64, ev.Dim())
+	ev.LogDensityGrad(q, grad)
+	return ev.TapeNodes, ev.TapeEdges
+}
+
+// Cache memoizes profiles by workload name so the figure harness reuses
+// measurement runs across experiments. Safe for concurrent use.
+type Cache struct {
+	mu   sync.Mutex
+	opt  Options
+	full map[string]*hw.Profile
+}
+
+// NewCache returns a profile cache with the given measurement options.
+func NewCache(opt Options) *Cache {
+	return &Cache{opt: opt, full: make(map[string]*hw.Profile)}
+}
+
+// Profile returns the (possibly cached) measured profile for w.
+func (c *Cache) Profile(w *workloads.Workload) *hw.Profile {
+	c.mu.Lock()
+	if p, ok := c.full[w.Info.Name]; ok {
+		c.mu.Unlock()
+		return p
+	}
+	c.mu.Unlock()
+	p := Measure(w, c.opt)
+	c.mu.Lock()
+	c.full[w.Info.Name] = p
+	c.mu.Unlock()
+	return p
+}

@@ -1,0 +1,85 @@
+package perf
+
+import (
+	"testing"
+
+	"bayessuite/internal/workloads"
+)
+
+func TestStaticProfileFields(t *testing.T) {
+	w, err := workloads.New("12cities", 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Static(w)
+	if p.Name != "12cities" {
+		t.Errorf("name %q", p.Name)
+	}
+	if p.TapeNodes == 0 || p.TapeEdges == 0 {
+		t.Error("tape sizes not measured")
+	}
+	if p.ModeledDataBytes != w.ModeledDataBytes() {
+		t.Error("modeled data mismatch")
+	}
+	if len(p.ChainWork) != w.Info.Chains {
+		t.Errorf("chain work entries %d", len(p.ChainWork))
+	}
+	if p.BaseIPC != w.Info.BaseIPC || p.CodeKB != w.Info.CodeKB {
+		t.Error("static metadata not propagated")
+	}
+	if p.StreamBytes() <= int64(p.ModeledDataBytes) {
+		t.Error("stream should include the tape")
+	}
+	if p.ResidentBytes() <= p.StreamBytes() {
+		t.Error("resident should exceed the stream")
+	}
+	if p.InstrPerEval() <= 0 {
+		t.Error("instruction model broken")
+	}
+}
+
+func TestMeasureExtrapolatesWork(t *testing.T) {
+	w, err := workloads.New("12cities", 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Measure(w, Options{ProfileIterations: 60, Seed: 5, Parallel: true})
+	if len(p.ChainWork) != 4 {
+		t.Fatalf("chain work entries %d", len(p.ChainWork))
+	}
+	for c, wk := range p.ChainWork {
+		// Extrapolated to 2000 iterations at >= 1 leapfrog per iteration.
+		if wk < int64(w.Info.Iterations) {
+			t.Errorf("chain %d work %d below one eval per iteration", c, wk)
+		}
+		if wk > int64(w.Info.Iterations)*1024 {
+			t.Errorf("chain %d work %d above max tree size per iteration", c, wk)
+		}
+	}
+	if p.Iterations != w.Info.Iterations {
+		t.Errorf("iterations %d want %d", p.Iterations, w.Info.Iterations)
+	}
+}
+
+func TestCacheReturnsSameProfile(t *testing.T) {
+	c := NewCache(Options{ProfileIterations: 60, Seed: 5, Parallel: true})
+	w, _ := workloads.New("ode", 0.5, 3)
+	p1 := c.Profile(w)
+	p2 := c.Profile(w)
+	if p1 != p2 {
+		t.Error("cache did not memoize")
+	}
+}
+
+func TestODEWSSFactorApplied(t *testing.T) {
+	w, _ := workloads.New("ode", 1, 3)
+	p := Static(w)
+	if p.TapeWSSFactor != 0.15 {
+		t.Errorf("ode TapeWSSFactor %g", p.TapeWSSFactor)
+	}
+	// The ode stream must be far smaller than its raw tape bytes.
+	raw := int64(p.TapeNodes*8 + p.TapeEdges*12)
+	if p.StreamBytes() > raw/2 {
+		t.Errorf("ode stream %d not scaled down from raw tape %d", p.StreamBytes(), raw)
+	}
+}

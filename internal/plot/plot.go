@@ -1,0 +1,215 @@
+// Package plot renders small ASCII scatter and line charts for the figure
+// harness, so `cmd/figures` output resembles the paper's figures rather
+// than bare tables: Figure 3's scatter (modeled data size vs LLC MPKI,
+// log-log) and Figure 5's convergence trace render directly in the
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one set of points drawn with a single marker.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Chart is an ASCII chart canvas configuration.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width/Height are the plot area size in characters (defaults 64x20).
+	Width, Height int
+	// LogX/LogY use log10 axes (points with non-positive coordinates are
+	// dropped on that axis).
+	LogX, LogY bool
+	// HLine draws a horizontal reference line at this Y (e.g. the R-hat
+	// threshold 1.1); nil disables it.
+	HLine *float64
+
+	series []Series
+}
+
+// Add appends a series.
+func (c *Chart) Add(s Series) { c.series = append(c.series, s) }
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return
+}
+
+// transform maps a raw coordinate according to the axis scale, reporting
+// whether the point is drawable.
+func transform(v float64, log bool) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.dims()
+
+	// Collect transformed points and ranges.
+	type pt struct {
+		x, y   float64
+		marker byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	consider := func(x, y float64, marker byte) {
+		tx, okx := transform(x, c.LogX)
+		ty, oky := transform(y, c.LogY)
+		if !okx || !oky {
+			return
+		}
+		pts = append(pts, pt{tx, ty, marker})
+		minX = math.Min(minX, tx)
+		maxX = math.Max(maxX, tx)
+		minY = math.Min(minY, ty)
+		maxY = math.Max(maxY, ty)
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			consider(s.X[i], s.Y[i], s.Marker)
+		}
+	}
+	if c.HLine != nil {
+		if ty, ok := transform(*c.HLine, c.LogY); ok {
+			minY = math.Min(minY, ty)
+			maxY = math.Max(maxY, ty)
+		}
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(w, c.Title)
+		fmt.Fprintln(w, "(no drawable points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom.
+	padY := (maxY - minY) * 0.05
+	minY -= padY
+	maxY += padY
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		f := (x - minX) / (maxX - minX)
+		i := int(f * float64(width-1))
+		return clampInt(i, 0, width-1)
+	}
+	row := func(y float64) int {
+		f := (y - minY) / (maxY - minY)
+		i := int(f * float64(height-1))
+		return clampInt(height-1-i, 0, height-1)
+	}
+	if c.HLine != nil {
+		if ty, ok := transform(*c.HLine, c.LogY); ok && ty >= minY && ty <= maxY {
+			r := row(ty)
+			for x := 0; x < width; x++ {
+				grid[r][x] = '-'
+			}
+		}
+	}
+	for _, p := range pts {
+		grid[row(p.y)][col(p.x)] = p.marker
+	}
+
+	// Emit: title, Y-axis labels on the left, grid, X-axis labels below.
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	yTop := axisValue(maxY, c.LogY)
+	yBot := axisValue(minY, c.LogY)
+	labelW := 10
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, trim(yTop))
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, trim(yBot))
+		case height / 2:
+			if c.YLabel != "" {
+				lbl := c.YLabel
+				if len(lbl) > labelW {
+					lbl = lbl[:labelW]
+				}
+				label = fmt.Sprintf("%*s", labelW, lbl)
+			}
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(grid[r]))
+	}
+	xLeft := trim(axisValue(minX, c.LogX))
+	xRight := trim(axisValue(maxX, c.LogX))
+	mid := c.XLabel
+	inner := width - len(xLeft) - len(xRight)
+	if inner < len(mid)+2 {
+		mid = ""
+	}
+	gap1 := (inner - len(mid)) / 2
+	gap2 := inner - len(mid) - gap1
+	if gap1 < 0 {
+		gap1, gap2 = 0, 0
+	}
+	fmt.Fprintf(w, "%s  %s%s%s%s%s\n", strings.Repeat(" ", labelW-1),
+		xLeft, strings.Repeat(" ", gap1), mid, strings.Repeat(" ", gap2), xRight)
+
+	// Legend.
+	if len(c.series) > 1 {
+		var parts []string
+		for _, s := range c.series {
+			parts = append(parts, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+		}
+		fmt.Fprintf(w, "%s  legend: %s\n", strings.Repeat(" ", labelW-1), strings.Join(parts, "  "))
+	}
+}
+
+func axisValue(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func trim(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	return s
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

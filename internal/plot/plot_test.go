@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(c *Chart) string {
+	var buf bytes.Buffer
+	c.Render(&buf)
+	return buf.String()
+}
+
+func TestScatterContainsMarkers(t *testing.T) {
+	c := &Chart{Title: "t", Width: 40, Height: 10}
+	c.Add(Series{Name: "a", Marker: 'o', X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}})
+	out := render(c)
+	if !strings.Contains(out, "o") {
+		t.Error("marker missing")
+	}
+	if !strings.Contains(out, "t") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + x-axis line.
+	if len(lines) != 1+10+1 {
+		t.Errorf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestCornersLandAtEdges(t *testing.T) {
+	c := &Chart{Width: 21, Height: 7}
+	c.Add(Series{Marker: '*', X: []float64{0, 10}, Y: []float64{0, 10}})
+	out := render(c)
+	lines := strings.Split(out, "\n")
+	// With the 5% headroom, the max point lands within the top two grid
+	// rows and the min within the bottom two.
+	if !strings.Contains(lines[0]+lines[1], "*") {
+		t.Errorf("max point not near top: %q / %q", lines[0], lines[1])
+	}
+	if !strings.Contains(lines[5]+lines[6], "*") {
+		t.Errorf("min point not near bottom: %q / %q", lines[5], lines[6])
+	}
+}
+
+func TestLogAxesDropNonPositive(t *testing.T) {
+	c := &Chart{LogX: true, LogY: true, Width: 30, Height: 8}
+	c.Add(Series{Marker: 'x', X: []float64{-1, 0, 10, 100}, Y: []float64{1, 1, 1, 10}})
+	out := render(c)
+	if strings.Count(out, "x") != 2 {
+		t.Errorf("expected 2 drawable points, got %d in:\n%s", strings.Count(out, "x"), out)
+	}
+}
+
+func TestHLineDrawn(t *testing.T) {
+	h := 5.0
+	c := &Chart{Width: 30, Height: 9, HLine: &h}
+	c.Add(Series{Marker: '*', X: []float64{0, 1}, Y: []float64{0, 10}})
+	out := render(c)
+	if !strings.Contains(out, "----") {
+		t.Error("reference line missing")
+	}
+}
+
+func TestLegendForMultipleSeries(t *testing.T) {
+	c := &Chart{Width: 30, Height: 6}
+	c.Add(Series{Name: "one", Marker: 'o', X: []float64{1}, Y: []float64{1}})
+	c.Add(Series{Name: "two", Marker: '+', X: []float64{2}, Y: []float64{2}})
+	out := render(c)
+	if !strings.Contains(out, "o=one") || !strings.Contains(out, "+=two") {
+		t.Error("legend missing entries")
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := render(c)
+	if !strings.Contains(out, "no drawable points") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	c := &Chart{Width: 20, Height: 5}
+	c.Add(Series{Marker: '#', X: []float64{3, 3}, Y: []float64{7, 7}})
+	out := render(c)
+	if !strings.Contains(out, "#") {
+		t.Error("degenerate-range point not drawn")
+	}
+}

@@ -1,0 +1,293 @@
+// Package rng provides the deterministic pseudo-random number generation
+// substrate used by every stochastic component of BayesSuite-Go: the
+// samplers, the synthetic dataset generators, and the hardware trace
+// generator.
+//
+// The generator is xoshiro256**, seeded through splitmix64 so that any
+// 64-bit seed (including 0) yields a well-mixed state. Determinism matters
+// here: every experiment in the paper harness is reproducible from a fixed
+// seed, and chains derive independent streams by jumping the seed.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** pseudo-random number generator. It is not safe for
+// concurrent use; give each goroutine (each Markov chain) its own stream
+// via NewStream or Split.
+type RNG struct {
+	s [4]uint64
+
+	// cached spare normal variate for the polar Box-Muller method.
+	hasSpare bool
+	spare    float64
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output. It is the
+// recommended seeding procedure for the xoshiro family.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	return r
+}
+
+// NewStream returns a generator for stream index i derived from seed. Two
+// distinct (seed, i) pairs produce statistically independent streams; this
+// is how parallel chains get their own randomness.
+func NewStream(seed uint64, i int) *RNG {
+	// Mix the stream index into the seed through splitmix64 twice so that
+	// consecutive indices land far apart in state space.
+	sm := seed ^ (0x9e3779b97f4a7c15 * (uint64(i) + 1))
+	sm = splitmix64(&sm)
+	return New(sm)
+}
+
+// Split returns a new generator whose stream is derived from, and
+// independent of, the receiver's future output.
+func (r *RNG) Split() *RNG {
+	seed := r.Uint64()
+	return New(seed ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float64OO returns a uniform value in the open interval (0, 1), which is
+// what log/logit transforms need to stay finite.
+func (r *RNG) Float64OO() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Norm returns a standard normal variate using the polar (Marsaglia)
+// Box-Muller method with one cached spare.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare = v * f
+			r.hasSpare = true
+			return u * f
+		}
+	}
+}
+
+// Exp returns an Exponential(1) variate.
+func (r *RNG) Exp() float64 {
+	return -math.Log(r.Float64OO())
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia-Tsang method
+// (with the Johnk-style boost for shape < 1). Scale by the caller's rate or
+// scale parameter as appropriate.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64OO()
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Norm()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64OO()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a Beta(a, b) variate.
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	return x / (x + y)
+}
+
+// Poisson returns a Poisson(lambda) variate. For small lambda it uses
+// Knuth's product method; for large lambda the PTRS transformed-rejection
+// method would be ideal, but a normal approximation with rounding is
+// adequate for data synthesis and keeps the code simple and branch-light.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction, clamped at zero.
+	x := lambda + math.Sqrt(lambda)*r.Norm()
+	if x < 0 {
+		return 0
+	}
+	return int(x + 0.5)
+}
+
+// Binomial returns a Binomial(n, p) variate.
+func (r *RNG) Binomial(n int, p float64) int {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n < 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Normal approximation for large n; fine for data synthesis.
+	mu := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	x := mu + sd*r.Norm()
+	if x < 0 {
+		return 0
+	}
+	if x > float64(n) {
+		return n
+	}
+	return int(x + 0.5)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Cauchy returns a Cauchy(loc, scale) variate.
+func (r *RNG) Cauchy(loc, scale float64) float64 {
+	return loc + scale*math.Tan(math.Pi*(r.Float64OO()-0.5))
+}
+
+// StudentT returns a Student-t variate with nu degrees of freedom.
+func (r *RNG) StudentT(nu float64) float64 {
+	z := r.Norm()
+	g := r.Gamma(nu / 2)
+	return z / math.Sqrt(2*g/nu)
+}
+
+// Dirichlet fills out with one draw from Dirichlet(alpha). out and alpha
+// must have equal length.
+func (r *RNG) Dirichlet(alpha []float64, out []float64) {
+	if len(alpha) != len(out) {
+		panic("rng: Dirichlet length mismatch")
+	}
+	sum := 0.0
+	for i, a := range alpha {
+		out[i] = r.Gamma(a)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Perm fills p with a uniformly random permutation of [0, len(p)).
+func (r *RNG) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,176 @@
+// Package sched implements the paper's bottleneck-resolution mechanism
+// (§V): a static LLC-miss predictor driven by the modeled data size, and
+// a scheduler that places each Bayesian inference job on the platform
+// most likely to maximize its performance — the large-LLC Broadwell
+// server for LLC-bound jobs, the high-frequency Skylake for the rest.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bayessuite/internal/hw"
+)
+
+// Point is one observation used to fit the predictor: a job's modeled
+// data size and its measured (simulated) 4-core LLC MPKI.
+type Point struct {
+	Name          string
+	ModeledDataKB float64
+	LLCMPKI4Core  float64
+}
+
+// Predictor is the paper's static LLC-miss model: MPKI is linear in the
+// modeled data size above the 1-MPKI regime (Fig. 3); below it the
+// correlation is weak and the predictor only claims "not LLC-bound".
+type Predictor struct {
+	// Slope/Intercept of the least-squares line fitted through the
+	// points with MPKI >= FitFloor.
+	Slope, Intercept float64
+	// FitFloor is the MPKI above which the linear model holds (1.0 in
+	// the paper).
+	FitFloor float64
+	// ThresholdKB is the modeled data size above which a job is
+	// predicted LLC-bound (the paper's "proper threshold for modeled
+	// data size", §V-A).
+	ThresholdKB float64
+}
+
+// Fit fits the predictor to calibration points. It least-squares fits the
+// high-MPKI points and derives the data-size threshold as the size at
+// which the line crosses the MPKI floor, bisected toward the largest
+// below-floor point for robustness.
+func Fit(points []Point) (*Predictor, error) {
+	p := &Predictor{FitFloor: 1.0}
+	var xs, ys []float64
+	maxBelow := 0.0
+	minBound := math.Inf(1)
+	for _, pt := range points {
+		if pt.LLCMPKI4Core >= p.FitFloor {
+			xs = append(xs, pt.ModeledDataKB)
+			ys = append(ys, pt.LLCMPKI4Core)
+			if pt.ModeledDataKB < minBound {
+				minBound = pt.ModeledDataKB
+			}
+		} else if pt.ModeledDataKB > maxBelow {
+			maxBelow = pt.ModeledDataKB
+		}
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("sched: need at least 2 LLC-bound calibration points, have %d", len(xs))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("sched: degenerate calibration set")
+	}
+	p.Slope = (n*sxy - sx*sy) / den
+	p.Intercept = (sy - p.Slope*sx) / n
+
+	// Where does the fitted line cross the floor? If the crossing falls
+	// outside the empirical gap between the two populations (a flat fit
+	// can put it anywhere), split the gap between the largest sub-floor
+	// point and the smallest LLC-bound point so both populations classify
+	// correctly with margin.
+	crossKB := (p.FitFloor - p.Intercept) / p.Slope
+	if math.IsNaN(crossKB) || math.IsInf(crossKB, 0) ||
+		crossKB <= maxBelow || crossKB >= minBound {
+		crossKB = (maxBelow + minBound) / 2
+	}
+	p.ThresholdKB = crossKB
+	return p, nil
+}
+
+// Predict returns the predicted 4-core LLC MPKI for a job with the given
+// modeled data size. Below the threshold the prediction is clamped into
+// the sub-floor regime (the paper: the linear model is only accurate
+// above 1 MPKI).
+func (p *Predictor) Predict(modeledKB float64) float64 {
+	v := p.Slope*modeledKB + p.Intercept
+	if modeledKB < p.ThresholdKB {
+		if v > p.FitFloor {
+			v = p.FitFloor * modeledKB / p.ThresholdKB
+		}
+		if v < 0 {
+			v = 0
+		}
+	}
+	return v
+}
+
+// LLCBound classifies a job from its modeled data size alone.
+func (p *Predictor) LLCBound(modeledKB float64) bool {
+	return modeledKB >= p.ThresholdKB
+}
+
+// SubsampleFraction implements the paper's §VII-B guidance: with larger
+// datasets, simply scaling the LLC up is not the solution — the inference
+// algorithm should subsample the data so the working set fits. Given a
+// job's modeled data size, it returns the fraction of the data to keep so
+// the predicted working set stays below the LLC-bound threshold (1 when
+// the job already fits).
+func (p *Predictor) SubsampleFraction(modeledKB float64) float64 {
+	if modeledKB <= 0 || modeledKB < p.ThresholdKB {
+		return 1
+	}
+	// 5% margin below the threshold so the subsampled job classifies as
+	// fitting with room to spare.
+	return 0.95 * p.ThresholdKB / modeledKB
+}
+
+// Assignment is one job's placement decision.
+type Assignment struct {
+	Job           string
+	ModeledDataKB float64
+	PredictedMPKI float64
+	LLCBound      bool
+	Platform      hw.Platform
+}
+
+// Scheduler places jobs on the platform pair using the predictor.
+type Scheduler struct {
+	Predictor *Predictor
+	// LargeLLC hosts predicted LLC-bound jobs; Fast hosts the rest.
+	LargeLLC, Fast hw.Platform
+}
+
+// NewScheduler returns a scheduler over the paper's platform pair.
+func NewScheduler(p *Predictor) *Scheduler {
+	return &Scheduler{Predictor: p, LargeLLC: hw.Broadwell, Fast: hw.Skylake}
+}
+
+// Assign places one job.
+func (s *Scheduler) Assign(job string, modeledBytes int) Assignment {
+	kb := float64(modeledBytes) / 1024
+	bound := s.Predictor.LLCBound(kb)
+	plat := s.Fast
+	if bound {
+		plat = s.LargeLLC
+	}
+	return Assignment{
+		Job:           job,
+		ModeledDataKB: kb,
+		PredictedMPKI: s.Predictor.Predict(kb),
+		LLCBound:      bound,
+		Platform:      plat,
+	}
+}
+
+// AssignAll places a batch of jobs and returns assignments sorted by job
+// name for stable output.
+func (s *Scheduler) AssignAll(jobs map[string]int) []Assignment {
+	out := make([]Assignment, 0, len(jobs))
+	for name, bytes := range jobs {
+		out = append(out, s.Assign(name, bytes))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}

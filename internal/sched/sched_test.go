@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// calibration resembling the paper's Fig. 3: three LLC-bound workloads
+// with roughly linear MPKI in modeled data, the rest below 1 MPKI.
+func paperPoints() []Point {
+	return []Point{
+		{"tickets", 937, 24.4},
+		{"tickets-h", 469, 16.0},
+		{"survival", 281, 12.9},
+		{"ad", 159, 6.6},
+		{"memory", 37, 0.3},
+		{"12cities", 11, 0.4},
+		{"votes", 4.4, 0.27},
+		{"disease", 5.5, 0.28},
+		{"racial", 3.9, 0.4},
+		{"butterfly", 4.4, 0.23},
+		{"ode", 0.3, 0.06},
+	}
+}
+
+func TestFitSeparatesPopulations(t *testing.T) {
+	p, err := Fit(paperPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range paperPoints() {
+		got := p.LLCBound(pt.ModeledDataKB)
+		want := pt.LLCMPKI4Core >= 1
+		if got != want {
+			t.Errorf("%s (%.0f KB): LLCBound=%v want %v (threshold %.0f)",
+				pt.Name, pt.ModeledDataKB, got, want, p.ThresholdKB)
+		}
+	}
+}
+
+func TestFitPredictsAbove1(t *testing.T) {
+	p, err := Fit(paperPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range paperPoints() {
+		if pt.LLCMPKI4Core < 1 {
+			continue
+		}
+		est := p.Predict(pt.ModeledDataKB)
+		if rel := math.Abs(est-pt.LLCMPKI4Core) / pt.LLCMPKI4Core; rel > 0.6 {
+			t.Errorf("%s: predicted %.1f vs %.1f (rel err %.2f)", pt.Name, est, pt.LLCMPKI4Core, rel)
+		}
+	}
+}
+
+func TestPredictBelowThresholdClamped(t *testing.T) {
+	p, err := Fit(paperPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kb := 1.0; kb < p.ThresholdKB; kb += p.ThresholdKB / 13 {
+		if v := p.Predict(kb); v < 0 || v > p.FitFloor {
+			t.Errorf("sub-threshold prediction at %.0f KB = %.2f, want within [0, %g]", kb, v, p.FitFloor)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]Point{{"a", 10, 0.1}}); err == nil {
+		t.Error("expected error with too few bound points")
+	}
+	if _, err := Fit([]Point{{"a", 10, 5}, {"b", 10, 6}}); err == nil {
+		t.Error("expected degenerate-fit error")
+	}
+}
+
+func TestSchedulerAssignsPlatforms(t *testing.T) {
+	p, err := Fit(paperPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(p)
+	big := s.Assign("tickets", 937*1024)
+	small := s.Assign("votes", 5*1024)
+	if big.Platform.Codename != "Broadwell" || !big.LLCBound {
+		t.Errorf("tickets assignment: %+v", big)
+	}
+	if small.Platform.Codename != "Skylake" || small.LLCBound {
+		t.Errorf("votes assignment: %+v", small)
+	}
+}
+
+func TestAssignAllSortedAndComplete(t *testing.T) {
+	p, _ := Fit(paperPoints())
+	s := NewScheduler(p)
+	jobs := map[string]int{"z": 1000 * 1024, "a": 1024, "m": 50 * 1024}
+	out := s.AssignAll(jobs)
+	if len(out) != 3 {
+		t.Fatalf("got %d assignments", len(out))
+	}
+	if out[0].Job != "a" || out[1].Job != "m" || out[2].Job != "z" {
+		t.Errorf("not sorted: %v, %v, %v", out[0].Job, out[1].Job, out[2].Job)
+	}
+}
+
+func TestSubsampleFraction(t *testing.T) {
+	p, _ := Fit(paperPoints())
+	if f := p.SubsampleFraction(1); f != 1 {
+		t.Errorf("small job should keep all data, got %g", f)
+	}
+	f := p.SubsampleFraction(2 * p.ThresholdKB)
+	if f <= 0 || f > 0.51 {
+		t.Errorf("2x-threshold job fraction %g, want ~0.5", f)
+	}
+	// Subsampled size must classify as not LLC-bound.
+	if p.LLCBound(2 * p.ThresholdKB * f) {
+		t.Error("subsampled job still LLC-bound")
+	}
+}
+
+// TestMonotonePrediction: predicted MPKI never decreases with modeled
+// data size (the mechanism the paper's Fig. 3 expresses).
+func TestMonotonePrediction(t *testing.T) {
+	p, _ := Fit(paperPoints())
+	err := quick.Check(func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 2000))
+		y := math.Abs(math.Mod(b, 2000))
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return p.Predict(x) <= p.Predict(y)+1e-9
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

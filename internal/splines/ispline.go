@@ -1,0 +1,121 @@
+// Package splines implements the monotone I-spline basis the disease
+// workload uses to model the continually worsening progression of
+// Alzheimer's biomarkers (Pourzanjani et al., StanCon 2018). I-splines are
+// integrals of M-splines; a non-negative combination of I-splines is
+// monotonically non-decreasing, which encodes "progression only worsens".
+//
+// This implementation uses order-2 M-splines (normalized triangular
+// bumps) on a uniform knot layout over [0, 1]; their integrals are the
+// piecewise-quadratic I-splines evaluated in closed form, together with
+// their derivatives (the M-spline values) needed for autodiff.
+package splines
+
+// ISpline is a K-function I-spline basis on [0, 1].
+type ISpline struct {
+	K int
+	// per-basis support [start, peak, end] of the underlying M-spline
+	start, peak, end []float64
+}
+
+// NewISpline returns a basis with k functions (k >= 1).
+func NewISpline(k int) *ISpline {
+	if k < 1 {
+		panic("splines: basis size must be positive")
+	}
+	b := &ISpline{
+		K:     k,
+		start: make([]float64, k),
+		peak:  make([]float64, k),
+		end:   make([]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		p := float64(i+1) / float64(k)
+		b.peak[i] = p
+		b.start[i] = p - 1/float64(k)
+		b.end[i] = p + 1/float64(k)
+		if b.start[i] < 0 {
+			b.start[i] = 0
+		}
+		if b.end[i] > 1 {
+			b.end[i] = 1
+		}
+	}
+	return b
+}
+
+// m evaluates the normalized M-spline (triangular bump integrating to 1)
+// of basis i at x.
+func (b *ISpline) m(i int, x float64) float64 {
+	s, p, e := b.start[i], b.peak[i], b.end[i]
+	if x <= s || x >= e {
+		if x == e && e == 1 && p == 1 {
+			// Right half-bump attains its max at 1.
+			return 2 / (e - s)
+		}
+		return 0
+	}
+	h := 2 / (e - s) // peak height so the bump integrates to 1
+	if x < p {
+		if p == s {
+			return h
+		}
+		return h * (x - s) / (p - s)
+	}
+	if e == p {
+		return h
+	}
+	return h * (e - x) / (e - p)
+}
+
+// Eval returns I_i(x) (the integrated basis, in [0, 1]) and its derivative
+// M_i(x). x is clamped to [0, 1].
+func (b *ISpline) Eval(i int, x float64) (value, deriv float64) {
+	if x <= 0 {
+		return 0, b.m(i, 0)
+	}
+	if x >= 1 {
+		return 1, b.m(i, 1)
+	}
+	s, p, e := b.start[i], b.peak[i], b.end[i]
+	h := 2 / (e - s)
+	switch {
+	case x <= s:
+		return 0, 0
+	case x >= e:
+		return 1, 0
+	case x < p:
+		// Rising edge: integral of h*(u-s)/(p-s) from s to x.
+		if p == s {
+			return h * (x - s), h
+		}
+		d := x - s
+		return h * d * d / (2 * (p - s)), h * d / (p - s)
+	default:
+		// Falling edge: area of the rising part + integral of the fall.
+		riseArea := h * (p - s) / 2
+		if e == p {
+			return riseArea + h*(x-p), h
+		}
+		d := e - x
+		fall := h*(e-p)/2 - h*d*d/(2*(e-p))
+		return riseArea + fall, h * d / (e - p)
+	}
+}
+
+// Curve evaluates sum_i c[i] * I_i(x) together with its derivative with
+// respect to x and the per-coefficient partials (the I_i(x) values, written
+// into basisOut when non-nil).
+func (b *ISpline) Curve(c []float64, x float64, basisOut []float64) (value, dx float64) {
+	if len(c) != b.K {
+		panic("splines: coefficient count mismatch")
+	}
+	for i, ci := range c {
+		v, d := b.Eval(i, x)
+		value += ci * v
+		dx += ci * d
+		if basisOut != nil {
+			basisOut[i] = v
+		}
+	}
+	return value, dx
+}

@@ -1,0 +1,121 @@
+package splines
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEndpointValues(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 9} {
+		b := NewISpline(k)
+		for i := 0; i < k; i++ {
+			if v, _ := b.Eval(i, 0); v != 0 {
+				t.Errorf("K=%d I_%d(0) = %g, want 0", k, i, v)
+			}
+			if v, _ := b.Eval(i, 1); v != 1 {
+				t.Errorf("K=%d I_%d(1) = %g, want 1", k, i, v)
+			}
+		}
+	}
+}
+
+func TestMonotoneNonDecreasing(t *testing.T) {
+	b := NewISpline(6)
+	for i := 0; i < b.K; i++ {
+		prev := -1.0
+		for x := 0.0; x <= 1.0001; x += 0.001 {
+			v, _ := b.Eval(i, math.Min(x, 1))
+			if v < prev-1e-12 {
+				t.Fatalf("I_%d decreasing at x=%g: %g < %g", i, x, v, prev)
+			}
+			if v < 0 || v > 1+1e-12 {
+				t.Fatalf("I_%d(%g) = %g out of [0,1]", i, x, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDerivativeMatchesFiniteDifference(t *testing.T) {
+	b := NewISpline(5)
+	const h = 1e-6
+	for i := 0; i < b.K; i++ {
+		for x := 0.01; x < 0.995; x += 0.0173 {
+			vp, _ := b.Eval(i, x+h)
+			vm, _ := b.Eval(i, x-h)
+			fd := (vp - vm) / (2 * h)
+			_, d := b.Eval(i, x)
+			if math.Abs(fd-d) > 1e-4*(1+math.Abs(fd)) {
+				t.Errorf("I_%d'(%g): analytic %g, fd %g", i, x, d, fd)
+			}
+		}
+	}
+}
+
+func TestCurveIsWeightedSum(t *testing.T) {
+	b := NewISpline(4)
+	c := []float64{0.5, 1.5, 0.2, 2.0}
+	basis := make([]float64, 4)
+	for x := 0.0; x <= 1; x += 0.1 {
+		v, dx := b.Curve(c, x, basis)
+		wantV, wantD := 0.0, 0.0
+		for i, ci := range c {
+			vi, di := b.Eval(i, x)
+			wantV += ci * vi
+			wantD += ci * di
+			if basis[i] != vi {
+				t.Errorf("basisOut[%d] mismatch at x=%g", i, x)
+			}
+		}
+		if math.Abs(v-wantV) > 1e-12 || math.Abs(dx-wantD) > 1e-12 {
+			t.Errorf("curve(%g) = (%g, %g), want (%g, %g)", x, v, dx, wantV, wantD)
+		}
+	}
+}
+
+// TestCurveMonotoneProperty: any non-negative coefficient combination is
+// non-decreasing — the property the disease model relies on.
+func TestCurveMonotoneProperty(t *testing.T) {
+	b := NewISpline(6)
+	err := quick.Check(func(raw [6]float64) bool {
+		c := make([]float64, 6)
+		for i, v := range raw {
+			c[i] = math.Abs(math.Mod(v, 3))
+			if math.IsNaN(c[i]) {
+				return true
+			}
+		}
+		prev := math.Inf(-1)
+		for x := 0.0; x <= 1; x += 0.02 {
+			v, _ := b.Curve(c, x, nil)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewISpline(0) should panic")
+		}
+	}()
+	NewISpline(0)
+}
+
+func TestCurveLengthMismatchPanics(t *testing.T) {
+	b := NewISpline(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Curve with wrong coefficient count should panic")
+		}
+	}()
+	b.Curve([]float64{1}, 0.5, nil)
+}

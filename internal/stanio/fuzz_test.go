@@ -1,0 +1,44 @@
+package stanio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDraws ensures the parser never panics on arbitrary input and
+// that anything it accepts round-trips through WriteDraws.
+func FuzzReadDraws(f *testing.F) {
+	f.Add("chain__,iter__,a,b\n0,0,1.5,2\n1,0,3,-4\n")
+	f.Add("chain__,iter__,q0\n0,0,nan\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("chain__,iter__,x\n9999999,0,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if strings.Count(input, "\n") > 1000 || len(input) > 1<<16 {
+			t.Skip()
+		}
+		draws, names, err := ReadDraws(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Drop empty chains (the writer cannot express them).
+		var compact [][][]float64
+		for _, ch := range draws {
+			if len(ch) > 0 {
+				compact = append(compact, ch)
+			}
+		}
+		if len(compact) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDraws(&buf, compact, names); err != nil {
+			// Ragged dimensions are a legitimate writer rejection.
+			return
+		}
+		if _, _, err := ReadDraws(&buf); err != nil {
+			t.Fatalf("rewritten output failed to parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+// Package stanio writes and reads posterior draws in the CSV layout
+// Stan's interfaces use (header row of parameter names, one draw per
+// row, chains concatenated with a chain__ column). It gives BayesSuite-Go
+// runs an interchange format that downstream tooling — or the original
+// R ecosystem the paper's workloads come from — can consume.
+package stanio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDraws writes multi-chain draws as CSV. names labels the parameter
+// columns; when nil, columns are named q0, q1, .... The layout is:
+//
+//	chain__,iter__,<name0>,<name1>,...
+func WriteDraws(w io.Writer, draws [][][]float64, names []string) error {
+	bw := bufio.NewWriter(w)
+	dim := 0
+	for _, ch := range draws {
+		if len(ch) > 0 {
+			dim = len(ch[0])
+			break
+		}
+	}
+	if dim == 0 {
+		return fmt.Errorf("stanio: no draws to write")
+	}
+	cols := make([]string, 0, dim+2)
+	cols = append(cols, "chain__", "iter__")
+	for i := 0; i < dim; i++ {
+		if names != nil && i < len(names) && names[i] != "" {
+			cols = append(cols, sanitize(names[i]))
+		} else {
+			cols = append(cols, "q"+strconv.Itoa(i))
+		}
+	}
+	if _, err := bw.WriteString(strings.Join(cols, ",") + "\n"); err != nil {
+		return err
+	}
+	row := make([]string, dim+2)
+	for c, ch := range draws {
+		for it, d := range ch {
+			if len(d) != dim {
+				return fmt.Errorf("stanio: chain %d draw %d has %d values, want %d", c, it, len(d), dim)
+			}
+			row[0] = strconv.Itoa(c)
+			row[1] = strconv.Itoa(it)
+			for i, v := range d {
+				row[i+2] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if _, err := bw.WriteString(strings.Join(row, ",") + "\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// sanitize keeps parameter names CSV-safe.
+func sanitize(s string) string {
+	return strings.NewReplacer(",", ";", "\n", " ", "\"", "'").Replace(s)
+}
+
+// ReadDraws parses the format WriteDraws produces, returning the draws
+// grouped by chain and the parameter names.
+func ReadDraws(r io.Reader) (draws [][][]float64, names []string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("stanio: empty input")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) < 3 || header[0] != "chain__" || header[1] != "iter__" {
+		return nil, nil, fmt.Errorf("stanio: unexpected header %q", sc.Text())
+	}
+	names = header[2:]
+	dim := len(names)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != dim+2 {
+			return nil, nil, fmt.Errorf("stanio: line %d has %d fields, want %d", lineNo, len(fields), dim+2)
+		}
+		chain, err := strconv.Atoi(fields[0])
+		if err != nil || chain < 0 {
+			return nil, nil, fmt.Errorf("stanio: line %d bad chain %q", lineNo, fields[0])
+		}
+		for chain >= len(draws) {
+			draws = append(draws, nil)
+		}
+		vals := make([]float64, dim)
+		for i, f := range fields[2:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("stanio: line %d bad value %q", lineNo, f)
+			}
+			vals[i] = v
+		}
+		draws[chain] = append(draws[chain], vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return draws, names, nil
+}

@@ -1,0 +1,130 @@
+package stanio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bayessuite/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	draws := [][][]float64{
+		{{1, 2.5}, {3, -4.25}},
+		{{-0.5, 1e-12}, {math.MaxFloat64, 0}},
+	}
+	names := []string{"alpha", "beta"}
+	var buf bytes.Buffer
+	if err := WriteDraws(&buf, draws, names); err != nil {
+		t.Fatal(err)
+	}
+	got, gotNames, err := ReadDraws(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNames[0] != "alpha" || gotNames[1] != "beta" {
+		t.Errorf("names %v", gotNames)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d chains", len(got))
+	}
+	for c := range draws {
+		for i := range draws[c] {
+			for d := range draws[c][i] {
+				if got[c][i][d] != draws[c][i][d] {
+					t.Errorf("chain %d draw %d dim %d: %g != %g",
+						c, i, d, got[c][i][d], draws[c][i][d])
+				}
+			}
+		}
+	}
+}
+
+func TestDefaultNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDraws(&buf, [][][]float64{{{1, 2, 3}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if header != "chain__,iter__,q0,q1,q2" {
+		t.Errorf("header %q", header)
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDraws(&buf, [][][]float64{{{1}}}, []string{"a,b"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "a,b") {
+		t.Error("comma not sanitized from name")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDraws(&buf, nil, nil); err == nil {
+		t.Error("empty draws should error")
+	}
+	if _, _, err := ReadDraws(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, _, err := ReadDraws(strings.NewReader("x,y,z\n1,2,3")); err == nil {
+		t.Error("bad header should error")
+	}
+	if _, _, err := ReadDraws(strings.NewReader("chain__,iter__,a\n0,0,1,9")); err == nil {
+		t.Error("field count mismatch should error")
+	}
+	if _, _, err := ReadDraws(strings.NewReader("chain__,iter__,a\nx,0,1")); err == nil {
+		t.Error("bad chain should error")
+	}
+	if _, _, err := ReadDraws(strings.NewReader("chain__,iter__,a\n0,0,zz")); err == nil {
+		t.Error("bad value should error")
+	}
+}
+
+// TestRoundTripProperty round-trips random draw sets.
+func TestRoundTripProperty(t *testing.T) {
+	r := rng.New(3)
+	err := quick.Check(func(chainsRaw, nRaw, dimRaw uint8) bool {
+		chains := int(chainsRaw)%3 + 1
+		n := int(nRaw)%5 + 1
+		dim := int(dimRaw)%4 + 1
+		draws := make([][][]float64, chains)
+		for c := range draws {
+			for i := 0; i < n; i++ {
+				row := make([]float64, dim)
+				for d := range row {
+					row[d] = r.Norm() * 1e3
+				}
+				draws[c] = append(draws[c], row)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteDraws(&buf, draws, nil); err != nil {
+			return false
+		}
+		got, _, err := ReadDraws(&buf)
+		if err != nil || len(got) != chains {
+			return false
+		}
+		for c := range draws {
+			if len(got[c]) != n {
+				return false
+			}
+			for i := range draws[c] {
+				for d := range draws[c][i] {
+					if got[c][i][d] != draws[c][i][d] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"bayessuite/internal/ad"
+	"bayessuite/internal/data"
+	"bayessuite/internal/dist"
+	"bayessuite/internal/mathx"
+	"bayessuite/internal/model"
+	"bayessuite/internal/rng"
+)
+
+// adAttribution is the "ad" workload: a logistic regression quantifying
+// the effectiveness of advertising channels for the movie industry (Lei et
+// al., StanCon 2017). Survey respondents report demographics and which
+// advertising channels they saw; the outcome is whether they watched the
+// movie. The modeled data — a dense respondent x covariate matrix — is
+// among the largest in the suite, which is what makes this workload
+// LLC-bound in the paper's multicore characterization (Fig. 2).
+type adAttribution struct {
+	x    [][]float64 // design matrix (intercept + channels + demographics)
+	y    []int       // watched indicator
+	p    int
+	beta []float64 // generative truth
+}
+
+// NewAd builds the ad workload at the given dataset scale.
+func NewAd(scale float64, seed uint64) *Workload {
+	r := rng.New(seed ^ 0xadad)
+	n := data.Scale(1200, scale)
+	const p = 16
+
+	w := &adAttribution{p: p}
+	w.x = data.DesignMatrix(r, n, p)
+	w.beta = data.Coefficients(r, 0.8, p)
+	w.beta[0] = -0.5
+	w.y = make([]int, n)
+	for i := range w.y {
+		eta := 0.0
+		for j, b := range w.beta {
+			eta += b * w.x[i][j]
+		}
+		if r.Bernoulli(mathx.InvLogit(eta)) {
+			w.y[i] = 1
+		}
+	}
+	return &Workload{
+		Info: Info{
+			Name:          "ad",
+			Family:        "Logistic Regression",
+			Application:   "Advertising attribution in the movie industry",
+			Source:        "StanCon 2017 [15]",
+			Data:          "synthetic channel-exposure survey",
+			Iterations:    2000,
+			Chains:        4,
+			CodeKB:        20,
+			BranchMPKI:    0.4,
+			BaseIPC:       2.4,
+			Distributions: []string{"normal", "bernoulli-logit"},
+		},
+		Model: w,
+	}
+}
+
+func (w *adAttribution) Name() string { return "ad" }
+
+// Dim: one coefficient per covariate.
+func (w *adAttribution) Dim() int { return w.p }
+
+func (w *adAttribution) ModeledDataBytes() int {
+	// Full design matrix plus outcomes.
+	return data.Bytes8(len(w.y) * (w.p + 1))
+}
+
+func (w *adAttribution) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	b := model.NewBuilder(t)
+	// Weakly informative priors on coefficients.
+	for _, beta := range q {
+		b.Add(dist.NormalLPDF(t, beta, ad.Const(0), ad.Const(2.5)))
+	}
+	// Linear predictor per respondent: eta_i = x_i . beta.
+	eta := make([]ad.Var, len(w.y))
+	for i := range w.y {
+		eta[i] = t.Dot(q, w.x[i])
+	}
+	b.Add(dist.BernoulliLogitLPMFSum(t, w.y, eta))
+	return b.Result()
+}
+
+// TrueBeta exposes the generative coefficients for integration tests.
+func (w *adAttribution) TrueBeta() []float64 { return w.beta }

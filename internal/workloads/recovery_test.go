@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"bayessuite/internal/diag"
+	"bayessuite/internal/mcmc"
+	"bayessuite/internal/model"
+)
+
+// These tests check the end-to-end statistical correctness of the stack:
+// NUTS over the autodiff posterior must recover the generative parameters
+// of the synthetic data within posterior uncertainty.
+
+func runNUTS(t *testing.T, w *Workload, iters int) *mcmc.Result {
+	t.Helper()
+	res := mcmc.Run(mcmc.Config{
+		Chains:     4,
+		Iterations: iters,
+		Seed:       101,
+		Parallel:   true,
+	}, func() mcmc.Target { return model.NewEvaluator(w.Model) })
+	if r := diag.MaxSplitRHat(res.SecondHalfDraws()); r > 1.25 {
+		t.Logf("warning: split R-hat %.3f (short run)", r)
+	}
+	return res
+}
+
+func posteriorMeanSD(res *mcmc.Result, dim int) (mean, sd float64) {
+	flat := diag.FlattenChains(res.SecondHalfDraws())
+	var m, m2 float64
+	n := 0.0
+	for _, d := range flat {
+		n++
+		delta := d[dim] - m
+		m += delta / n
+		m2 += delta * (d[dim] - m)
+	}
+	return m, math.Sqrt(m2 / (n - 1))
+}
+
+func TestTwelveCitiesRecoversTreatmentEffect(t *testing.T) {
+	w, _ := New("12cities", 0.5, 5)
+	tc := w.Model.(*twelveCities)
+	res := runNUTS(t, w, 800)
+	betaIdx := w.Model.Dim() - 1
+	mean, sd := posteriorMeanSD(res, betaIdx)
+	if math.Abs(mean-tc.TrueBeta()) > 4*sd+0.05 {
+		t.Errorf("beta posterior %.3f +- %.3f misses truth %.3f", mean, sd, tc.TrueBeta())
+	}
+}
+
+func TestAdRecoversCoefficients(t *testing.T) {
+	w, _ := New("ad", 0.5, 5)
+	m := w.Model.(*adAttribution)
+	res := runNUTS(t, w, 600)
+	for _, j := range []int{0, 1, 2} {
+		mean, sd := posteriorMeanSD(res, j)
+		if math.Abs(mean-m.TrueBeta()[j]) > 4*sd+0.1 {
+			t.Errorf("beta[%d] posterior %.3f +- %.3f misses truth %.3f",
+				j, mean, sd, m.TrueBeta()[j])
+		}
+	}
+}
+
+func TestSurvivalRecoversRates(t *testing.T) {
+	w, _ := New("survival", 0.25, 5)
+	res := runNUTS(t, w, 600)
+	// All probabilities are in (0, 1) after constraining, and the
+	// posterior should be informative (sd well below the uniform prior's
+	// 0.29) for the interior occasions.
+	sv := w.Model.(*survival)
+	flat := diag.FlattenChains(res.SecondHalfDraws())
+	nT := sv.nOcc - 1
+	for i := 2; i < nT-2; i++ {
+		var mean, n float64
+		for _, d := range flat {
+			mean += model.ConstrainLowerUpper(d[i], 0, 1)
+			n++
+		}
+		mean /= n
+		if mean <= 0.2 || mean >= 0.99 {
+			t.Errorf("phi[%d] posterior mean %.3f implausible", i, mean)
+		}
+	}
+}
+
+func TestODERecoversClearance(t *testing.T) {
+	w, _ := New("ode", 1, 5)
+	res := runNUTS(t, w, 500)
+	mean, sd := posteriorMeanSD(res, fkLogCL)
+	truth := math.Log(10.0)
+	if math.Abs(mean-truth) > 4*sd+0.3 {
+		t.Errorf("log CL posterior %.3f +- %.3f misses truth %.3f", mean, sd, truth)
+	}
+}
+
+func TestMemoryRecoversInterferenceSign(t *testing.T) {
+	w, _ := New("memory", 0.5, 5)
+	res := runNUTS(t, w, 600)
+	// b_a (index 2) is the interference effect on accuracy, truth -0.6.
+	mean, sd := posteriorMeanSD(res, 2)
+	if mean > 0 {
+		t.Errorf("accuracy interference effect %.3f +- %.3f has wrong sign", mean, sd)
+	}
+}
+
+func TestHMCAgreesWithNUTS(t *testing.T) {
+	// §IV-A: HMC single-core characteristics are similar; statistically
+	// the two samplers must agree on the posterior.
+	w, _ := New("12cities", 0.25, 5)
+	nuts := runNUTS(t, w, 800)
+	hmc := mcmc.Run(mcmc.Config{
+		Chains: 4, Iterations: 1200, Seed: 7, Sampler: mcmc.HMC, Parallel: true,
+	}, func() mcmc.Target { return model.NewEvaluator(w.Model) })
+
+	betaIdx := w.Model.Dim() - 1
+	mN, sN := posteriorMeanSD(nuts, betaIdx)
+	mH, sH := posteriorMeanSD(hmc, betaIdx)
+	if math.Abs(mN-mH) > 4*(sN+sH)+0.05 {
+		t.Errorf("NUTS beta %.3f +- %.3f vs HMC %.3f +- %.3f disagree", mN, sN, mH, sH)
+	}
+}

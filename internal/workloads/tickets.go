@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"bayessuite/internal/ad"
+	"bayessuite/internal/data"
+	"bayessuite/internal/dist"
+	"bayessuite/internal/mathx"
+	"bayessuite/internal/model"
+	"bayessuite/internal/rng"
+)
+
+// tickets is the "tickets" workload: Auerbach's study of whether NYPD
+// officers alter their ticket writing to match departmental productivity
+// targets. The observation unit is an officer-month; the outcome is
+// whether the officer met the month's quota, modeled as a hierarchical
+// logistic regression with per-officer intercepts and calendar covariates
+// (end-of-month pressure being the effect of interest).
+//
+// tickets has the largest modeled data in the suite — thousands of
+// officer-months with a wide covariate block — which is why the paper
+// singles it out: the highest LLC MPKI (7.7 at 1 core, ~20 at 4 cores),
+// an i-cache footprint above the 32 KB L1i, and the longest runtime.
+type tickets struct {
+	nOfficers int
+	officer   []int
+	x         [][]float64 // calendar/workload covariates per officer-month
+	y         []int       // met-quota indicator
+	p         int
+}
+
+// NewTickets builds the tickets workload at the given dataset scale.
+func NewTickets(scale float64, seed uint64) *Workload {
+	r := rng.New(seed ^ 0x71cce7)
+	n := data.Scale(8000, scale)
+	nOff := data.Scale(400, scale)
+	const p = 13 // intercept + end-of-month + 11 calendar/workload terms
+
+	w := &tickets{nOfficers: nOff, p: p}
+	w.x = data.DesignMatrix(r, n, p)
+	// Column 1 is the end-of-month indicator: make it binary.
+	for i := range w.x {
+		if w.x[i][1] > 0.4 {
+			w.x[i][1] = 1
+		} else {
+			w.x[i][1] = 0
+		}
+	}
+	beta := data.Coefficients(r, 0.6, p)
+	beta[0] = -0.8
+	beta[1] = 1.2 // strong end-of-month quota effect (the paper's finding)
+	alpha := make([]float64, nOff)
+	for o := range alpha {
+		alpha[o] = 0.7 * r.Norm()
+	}
+	w.officer = data.GroupIndex(r, n, nOff)
+	w.y = make([]int, n)
+	for i := range w.y {
+		eta := alpha[w.officer[i]]
+		for j, b := range beta {
+			eta += b * w.x[i][j]
+		}
+		if r.Bernoulli(mathx.InvLogit(eta)) {
+			w.y[i] = 1
+		}
+	}
+	return &Workload{
+		Info: Info{
+			Name:          "tickets",
+			Family:        "Logistic Regression",
+			Application:   "Do police officers alter ticket writing to match departmental targets?",
+			Source:        "Auerbach [19]",
+			Data:          "synthetic NYC officer-month quota outcomes",
+			Iterations:    3000,
+			Chains:        4,
+			CodeKB:        46, // exceeds the 32 KB L1i (paper §VII-B)
+			BranchMPKI:    1.6,
+			BaseIPC:       2.0,
+			Distributions: []string{"normal", "half-cauchy", "bernoulli-logit"},
+		},
+		Model: w,
+	}
+}
+
+func (w *tickets) Name() string { return "tickets" }
+
+// Dim: log sigma_alpha, alpha_raw[officers], beta[p].
+func (w *tickets) Dim() int { return 1 + w.nOfficers + w.p }
+
+func (w *tickets) ModeledDataBytes() int {
+	// covariates + outcome + officer id per observation.
+	return data.Bytes8(len(w.y) * (w.p + 2))
+}
+
+func (w *tickets) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	b := model.NewBuilder(t)
+	sigAlpha := b.Positive(q[0])
+	alphaRaw := q[1 : 1+w.nOfficers]
+	beta := q[1+w.nOfficers:]
+
+	b.Add(dist.HalfCauchyLPDF(t, sigAlpha, 1))
+	b.Add(dist.NormalLPDFVarData(t, alphaRaw, ad.Const(0), ad.Const(1)))
+	for _, bj := range beta {
+		b.Add(dist.NormalLPDF(t, bj, ad.Const(0), ad.Const(2.5)))
+	}
+
+	eta := make([]ad.Var, len(w.y))
+	for i := range w.y {
+		// Non-centered officer intercept + covariate block.
+		e := t.Mul(sigAlpha, alphaRaw[w.officer[i]])
+		e = t.Add(e, t.Dot(beta, w.x[i]))
+		eta[i] = e
+	}
+	b.Add(dist.BernoulliLogitLPMFSum(t, w.y, eta))
+	return b.Result()
+}
