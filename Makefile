@@ -1,0 +1,36 @@
+# BayesSuite-Go build/test entry points.
+#
+# `make` (or `make ci`) is the default verification flow: vet, the full
+# test suite, and a race-detector pass over the concurrency-sensitive
+# packages (the multi-chain runner and the streaming convergence
+# detector), exercising Parallel configurations.
+
+GO ?= go
+
+.PHONY: ci build vet test race bench bench-runner
+
+ci: vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite. internal/bench regenerates paper figures from real sampler
+# runs and is by far the slowest package; give it room.
+test:
+	$(GO) test -timeout 900s ./...
+
+# Race pass over the packages that run goroutines against shared state:
+# the lockstep worker pool, the free-running parallel chains, and the
+# streaming R-hat detector invoked from the coordinator.
+race:
+	$(GO) test -race ./internal/mcmc/... ./internal/elide/...
+
+# Runner hot-path benchmarks with allocation accounting.
+bench-runner:
+	$(GO) test -run xxx -bench 'BenchmarkRunner' -benchmem ./internal/mcmc/
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

@@ -166,8 +166,9 @@ func Fit(m Model, cfg Config) *Result {
 
 // MaxRHat returns the maximum split R-hat over the second half of the
 // draws (the paper's convergence criterion; < 1.1 indicates convergence).
+// It reads the flat sample buffers column-wise, with no copying.
 func (r *Result) MaxRHat() float64 {
-	return diag.MaxSplitRHat(r.SecondHalfDraws())
+	return diag.MaxSplitRHatCols(r.SecondHalfColumns())
 }
 
 // Summaries computes per-parameter posterior summaries from the second

@@ -48,7 +48,7 @@ func TestFitWithElision(t *testing.T) {
 func TestFitSamplerSelection(t *testing.T) {
 	for _, s := range []Sampler{NUTS, HMC, MetropolisHastings} {
 		res := Fit(tinyModel{}, Config{Chains: 2, Iterations: 300, Seed: 5, Sampler: s})
-		if len(res.Chains) != 2 || len(res.Chains[0].Draws) != 300 {
+		if len(res.Chains) != 2 || res.Chains[0].Samples.Len() != 300 {
 			t.Errorf("%s: wrong run shape", s)
 		}
 	}

@@ -81,7 +81,6 @@ func main() {
 	if *doElide {
 		det = elide.NewDetector()
 		cfg.StopRule = det
-		cfg.Parallel = false
 	}
 	fmt.Printf("running %s: %d chains x %d iterations (%s)\n", *name, *chains, n, kind)
 	res := mcmc.Run(cfg, func() mcmc.Target { return model.NewEvaluator(w.Model) })

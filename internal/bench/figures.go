@@ -623,12 +623,12 @@ func secondHalfFlat(r *mcmc.Result) [][]float64 {
 // klAgainst scores a prefix of a run against a reference sample.
 func (h *Harness) klAgainst(run *mcmc.Result, iters int, ref [][]float64) float64 {
 	var cur [][]float64
-	for _, ch := range run.Draws() {
+	for _, ch := range run.Chains {
 		end := iters
-		if end > len(ch) {
-			end = len(ch)
+		if end > ch.Samples.Len() {
+			end = ch.Samples.Len()
 		}
-		cur = append(cur, ch[end/2:end]...)
+		cur = append(cur, ch.Samples.RowsRange(end/2, end)...)
 	}
 	return diag.GaussianKL(cur, ref)
 }

@@ -242,10 +242,10 @@ func (h *Harness) GroundTruthKL(name string, run *mcmc.Result, iters int) float6
 	var cur [][]float64
 	for _, ch := range run.Chains {
 		end := iters
-		if end > len(ch.Draws) {
-			end = len(ch.Draws)
+		if end > ch.Samples.Len() {
+			end = ch.Samples.Len()
 		}
-		cur = append(cur, ch.Draws[end/2:end]...)
+		cur = append(cur, ch.Samples.RowsRange(end/2, end)...)
 	}
 	return diag.GaussianKL(cur, refDraws)
 }

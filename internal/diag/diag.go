@@ -36,6 +36,19 @@ func RHat(chains [][]float64) float64 {
 		}
 		means[c], vars[c] = mathx.MeanVar(ch)
 	}
+	return RHatFromMoments(means, vars, n)
+}
+
+// RHatFromMoments computes the Gelman-Rubin statistic from per-chain
+// sample moments: means[c] and vars[c] (unbiased) over n draws of chain c.
+// This is the formula RHat applies after computing the moments; streaming
+// detectors that maintain moments incrementally call it directly so the
+// two paths agree to rounding error.
+func RHatFromMoments(means, vars []float64, n int) float64 {
+	m := len(means)
+	if m < 2 || n < 2 {
+		return math.NaN()
+	}
 	grand := mathx.Mean(means)
 	b := 0.0
 	for _, mu := range means {
@@ -110,6 +123,44 @@ func MaxSplitRHat(draws [][][]float64) float64 {
 // earlier than the split variant; chains must number at least 2.
 func MaxRHat(draws [][][]float64) float64 {
 	return maxOverParams(draws, RHat)
+}
+
+// maxOverParamsCols is the column-major counterpart of maxOverParams:
+// cols[c][d] is already parameter d's series in chain c, so no per-column
+// copies are made.
+func maxOverParamsCols(cols [][][]float64, stat func([][]float64) float64) float64 {
+	if len(cols) == 0 || len(cols[0]) == 0 {
+		return math.NaN()
+	}
+	dim := len(cols[0])
+	maxR := 0.0
+	scratch := make([][]float64, len(cols))
+	for d := 0; d < dim; d++ {
+		for c := range cols {
+			scratch[c] = cols[c][d]
+		}
+		r := stat(scratch)
+		if math.IsNaN(r) {
+			return math.NaN()
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	return maxR
+}
+
+// MaxSplitRHatCols computes max split-R̂ over parameters from column-major
+// draws (cols[c][d][i] = parameter d of draw i in chain c), avoiding the
+// row-to-column transpose copies MaxSplitRHat performs. The mcmc package's
+// flat sample buffers produce this layout zero-copy.
+func MaxSplitRHatCols(cols [][][]float64) float64 {
+	return maxOverParamsCols(cols, SplitRHat)
+}
+
+// MaxRHatCols is the column-major counterpart of MaxRHat.
+func MaxRHatCols(cols [][][]float64) float64 {
+	return maxOverParamsCols(cols, RHat)
 }
 
 // ESS estimates the effective sample size of one scalar parameter across

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bayessuite/internal/diag"
+	"bayessuite/internal/mcmc"
 )
 
 // DefaultThreshold is the convergence threshold the paper adopts from
@@ -17,8 +18,12 @@ import (
 const DefaultThreshold = 1.1
 
 // Detector is an mcmc.StopRule that declares convergence when the maximum
-// split-R̂ across parameters, computed over the second half of the draws
-// so far, drops below Threshold.
+// R̂ across parameters, computed over the second half of the draws so far,
+// drops below Threshold. The diagnostic is maintained incrementally
+// (streaming prefix moments; see stream.go), so each check costs
+// O(chains×dim) instead of rescanning every retained draw — the paper's
+// "negligible overhead" claim (§VI-A) made real. The streaming values
+// match the batch diag computation to rounding error.
 type Detector struct {
 	// Threshold is the R̂ convergence threshold (default 1.1).
 	Threshold float64
@@ -31,6 +36,8 @@ type Detector struct {
 	// Fired is the iteration at which convergence was declared (0 if
 	// never).
 	Fired int
+
+	strm *streamRHat
 }
 
 // CheckPoint is one runtime convergence check.
@@ -42,20 +49,23 @@ type CheckPoint struct {
 // NewDetector returns a Detector with the paper's default threshold.
 func NewDetector() *Detector { return &Detector{Threshold: DefaultThreshold} }
 
-// ShouldStop implements mcmc.StopRule. It discards the first half of each
-// chain's draws (the paper's warm-up convention) and thresholds the
-// maximum classic Gelman-Rubin R̂ over parameters. Single-chain runs fall
-// back to the split variant (the classic diagnostic needs >= 2 chains).
-func (d *Detector) ShouldStop(draws [][][]float64, iter int) bool {
+// ShouldStop implements mcmc.StopRule. It discards the first half of the
+// draws so far (the paper's warm-up convention) and thresholds the maximum
+// classic Gelman-Rubin R̂ over parameters, maintained incrementally.
+// Single-chain runs fall back to the split variant (the classic diagnostic
+// needs >= 2 chains). Calling it with a new run's chains, or with a
+// smaller iter than before, resets the incremental state.
+func (d *Detector) ShouldStop(chains []*mcmc.Samples, iter int) bool {
 	start := time.Now()
 	defer func() { d.Overhead += time.Since(start) }()
 
-	half := make([][][]float64, len(draws))
-	for c := range draws {
-		n := len(draws[c])
-		half[c] = draws[c][n/2:]
+	if len(chains) == 0 {
+		return false
 	}
-	r := rhatOf(half)
+	if !d.strm.matches(chains, iter) {
+		d.strm = newStreamRHat(chains)
+	}
+	r := d.strm.maxRHat(chains, iter)
 	d.Trace = append(d.Trace, CheckPoint{Iteration: iter, RHat: r})
 	th := d.Threshold
 	if th == 0 {

@@ -4,11 +4,34 @@ import (
 	"math"
 	"testing"
 
+	"bayessuite/internal/diag"
+	"bayessuite/internal/mcmc"
 	"bayessuite/internal/rng"
 )
 
-// fakeDraws builds multi-chain draws that disagree for the first `bad`
-// iterations and agree afterwards.
+// fakeChains builds multi-chain sample stores whose draws disagree for the
+// first `bad` iterations and agree afterwards.
+func fakeChains(chains, n, bad, dim int, seed uint64) []*mcmc.Samples {
+	r := rng.New(seed)
+	out := make([]*mcmc.Samples, chains)
+	q := make([]float64, dim)
+	for c := range out {
+		out[c] = mcmc.NewSamples(dim, n)
+		for i := 0; i < n; i++ {
+			offset := 0.0
+			if i < bad {
+				offset = float64(c) * 5
+			}
+			for d := range q {
+				q[d] = offset + r.Norm()
+			}
+			out[c].Append(q)
+		}
+	}
+	return out
+}
+
+// fakeDraws is the row-major variant for the post-hoc RHatTrace helper.
 func fakeDraws(chains, n, bad int, seed uint64) [][][]float64 {
 	r := rng.New(seed)
 	out := make([][][]float64, chains)
@@ -26,13 +49,13 @@ func fakeDraws(chains, n, bad int, seed uint64) [][][]float64 {
 
 func TestDetectorFiresAfterConvergence(t *testing.T) {
 	d := NewDetector()
-	draws := fakeDraws(4, 1000, 100, 1)
+	chains := fakeChains(4, 1000, 100, 1, 1)
 	// Before convergence (second half still contains bad draws):
-	if d.ShouldStop(trim(draws, 150), 150) {
+	if d.ShouldStop(chains, 150) {
 		t.Error("fired too early")
 	}
 	// Well after: second half of 600 iterations is all good.
-	if !d.ShouldStop(trim(draws, 600), 600) {
+	if !d.ShouldStop(chains, 600) {
 		t.Error("did not fire after convergence")
 	}
 	if d.Fired != 600 {
@@ -46,18 +69,10 @@ func TestDetectorFiresAfterConvergence(t *testing.T) {
 	}
 }
 
-func trim(draws [][][]float64, n int) [][][]float64 {
-	out := make([][][]float64, len(draws))
-	for c := range draws {
-		out[c] = draws[c][:n]
-	}
-	return out
-}
-
 func TestDetectorSingleChainUsesSplit(t *testing.T) {
 	d := NewDetector()
-	draws := fakeDraws(1, 800, 0, 2)
-	if !d.ShouldStop(trim(draws, 800), 800) {
+	chains := fakeChains(1, 800, 0, 1, 2)
+	if !d.ShouldStop(chains, 800) {
 		t.Error("single-chain split RHat should fire on iid draws")
 	}
 }
@@ -92,22 +107,84 @@ func TestConvergencePointNever(t *testing.T) {
 }
 
 func TestDetectorRespectsThreshold(t *testing.T) {
-	strict := &Detector{Threshold: 1.0001}
-	draws := fakeDraws(4, 400, 0, 4)
-	// iid draws have RHat ~ 1 but above 1.0001 half the time; the firing
-	// behaviour only matters in that it should *never* fire with an
-	// impossible threshold below 1.
+	chains := fakeChains(4, 400, 0, 1, 4)
+	// iid draws have RHat ~ 1; the firing behaviour only matters in that
+	// it should *never* fire with an impossible threshold below 1.
 	impossible := &Detector{Threshold: 0.5}
-	if impossible.ShouldStop(draws, 400) {
+	if impossible.ShouldStop(chains, 400) {
 		t.Error("fired with impossible threshold")
 	}
-	_ = strict
-	// NaN RHat (degenerate draws) must not fire.
+	// NaN RHat (degenerate draws: one per chain) must not fire.
 	d := NewDetector()
-	if d.ShouldStop([][][]float64{{{1}}, {{1}}}, 1) {
+	degenerate := fakeChains(2, 1, 0, 1, 5)
+	if d.ShouldStop(degenerate, 1) {
 		t.Error("fired on degenerate draws")
 	}
 	if !math.IsNaN(d.Trace[0].RHat) && d.Trace[0].RHat > 0 && d.Trace[0].RHat < 1.1 {
 		t.Error("degenerate RHat recorded as converged")
+	}
+}
+
+// batchWindowRHat recomputes, from scratch, the diagnostic the detector
+// should see at iteration it: max classic R̂ (split for one chain) over
+// rows [it/2, it).
+func batchWindowRHat(chains []*mcmc.Samples, it int) float64 {
+	rows := make([][][]float64, len(chains))
+	for c, s := range chains {
+		rows[c] = s.RowsRange(it/2, it)
+	}
+	if len(chains) >= 2 {
+		return diag.MaxRHat(rows)
+	}
+	return diag.MaxSplitRHat(rows)
+}
+
+// TestStreamingMatchesBatch is the regression guarantee for the streaming
+// R̂ engine: at every checkpoint of a realistic (drifting, then mixing)
+// trace, the incrementally maintained value must match the O(n) batch
+// recomputation to 1e-9.
+func TestStreamingMatchesBatch(t *testing.T) {
+	cases := []struct {
+		name   string
+		chains []*mcmc.Samples
+	}{
+		{"4chains-dim3", fakeChains(4, 2000, 300, 3, 11)},
+		{"2chains-dim5", fakeChains(2, 1500, 0, 5, 12)},
+		{"1chain-dim2", fakeChains(1, 1200, 150, 2, 13)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			det := &Detector{Threshold: 0.5} // never fires; records trace
+			n := tc.chains[0].Len()
+			for it := 50; it <= n; it += 50 {
+				det.ShouldStop(tc.chains, it)
+			}
+			for _, cp := range det.Trace {
+				want := batchWindowRHat(tc.chains, cp.Iteration)
+				if math.IsNaN(want) != math.IsNaN(cp.RHat) {
+					t.Fatalf("iter %d: NaN mismatch: stream %v batch %v",
+						cp.Iteration, cp.RHat, want)
+				}
+				if !math.IsNaN(want) && math.Abs(cp.RHat-want) > 1e-9 {
+					t.Errorf("iter %d: stream %.12f batch %.12f (diff %.3g)",
+						cp.Iteration, cp.RHat, want, math.Abs(cp.RHat-want))
+				}
+			}
+		})
+	}
+}
+
+// TestDetectorResetsOnNewRun reuses one Detector across two different
+// runs; the incremental state must reset rather than blend the traces.
+func TestDetectorResetsOnNewRun(t *testing.T) {
+	d := &Detector{Threshold: 0.5}
+	first := fakeChains(4, 600, 100, 2, 21)
+	d.ShouldStop(first, 600)
+	second := fakeChains(4, 400, 50, 2, 22)
+	d.ShouldStop(second, 400)
+	got := d.Trace[len(d.Trace)-1].RHat
+	want := batchWindowRHat(second, 400)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("after run switch: stream %.12f batch %.12f", got, want)
 	}
 }

@@ -1,0 +1,175 @@
+package elide
+
+import (
+	"math"
+
+	"bayessuite/internal/diag"
+	"bayessuite/internal/mcmc"
+)
+
+// The streaming R̂ engine. The detector's window convention — R̂ over the
+// second half of the draws so far — means every check looks at
+// [iter/2, iter), a window whose *both* ends move forward monotonically.
+// Instead of rescanning the window (O(samples) per check, O(samples²) per
+// run), we keep per-chain, per-parameter prefix Welford accumulators at
+// each window boundary. A boundary only ever advances, so every draw is
+// folded into each accumulator exactly once — amortized O(dim) per
+// iteration — and window moments come from subtracting prefix moments
+// (Chan et al.'s combine formula, inverted), making each check
+// O(chains × dim) regardless of how many draws have accumulated.
+
+// cursor tracks running Welford moments per parameter over the draw
+// prefix [0, pos) of one chain.
+type cursor struct {
+	pos  int
+	mean []float64
+	m2   []float64
+}
+
+func newCursor(dim int) *cursor {
+	return &cursor{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// advance folds draws [pos, to) of s into the running moments.
+func (cu *cursor) advance(s *mcmc.Samples, to int) {
+	if to <= cu.pos {
+		return
+	}
+	for d := range cu.mean {
+		col := s.ColRange(d, cu.pos, to)
+		n := float64(cu.pos)
+		mean, m2 := cu.mean[d], cu.m2[d]
+		for _, v := range col {
+			n++
+			delta := v - mean
+			mean += delta / n
+			m2 += delta * (v - mean)
+		}
+		cu.mean[d], cu.m2[d] = mean, m2
+	}
+	cu.pos = to
+}
+
+// windowMoments returns the mean and unbiased variance of parameter d over
+// [a.pos, b.pos), obtained by subtracting prefix moments at a from prefix
+// moments at b.
+func windowMoments(a, b *cursor, d int) (mean, variance float64) {
+	nA := float64(a.pos)
+	nB := float64(b.pos)
+	nW := nB - nA
+	mean = (nB*b.mean[d] - nA*a.mean[d]) / nW
+	delta := mean - a.mean[d]
+	m2 := b.m2[d] - a.m2[d] - delta*delta*nA*nW/nB
+	if m2 < 0 {
+		m2 = 0
+	}
+	return mean, m2 / (nW - 1)
+}
+
+// streamRHat holds the incremental state for one run: window-boundary
+// cursors per chain plus moment scratch. Multi-chain runs need the window
+// start and end; single-chain runs additionally track the two half-window
+// boundaries the split diagnostic compares.
+type streamRHat struct {
+	src    []*mcmc.Samples // identity check: reset if the run changed
+	dim    int
+	lo, hi []*cursor // window [iter/2, iter)
+	h1, h2 []*cursor // split boundaries (single-chain only)
+	means  []float64
+	vars   []float64
+	last   int
+}
+
+func newStreamRHat(chains []*mcmc.Samples) *streamRHat {
+	st := &streamRHat{
+		src: append([]*mcmc.Samples(nil), chains...),
+		dim: chains[0].Dim(),
+	}
+	n := len(chains)
+	st.lo = make([]*cursor, n)
+	st.hi = make([]*cursor, n)
+	for c := range chains {
+		st.lo[c] = newCursor(st.dim)
+		st.hi[c] = newCursor(st.dim)
+	}
+	if n == 1 {
+		st.h1 = []*cursor{newCursor(st.dim)}
+		st.h2 = []*cursor{newCursor(st.dim)}
+		st.means = make([]float64, 2)
+		st.vars = make([]float64, 2)
+	} else {
+		st.means = make([]float64, n)
+		st.vars = make([]float64, n)
+	}
+	return st
+}
+
+// matches reports whether the accumulated state belongs to this run and
+// iteration sequence.
+func (st *streamRHat) matches(chains []*mcmc.Samples, iter int) bool {
+	if st == nil || iter < st.last || len(chains) != len(st.src) {
+		return false
+	}
+	for c := range chains {
+		if chains[c] != st.src[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxRHat returns the maximum streaming R̂ over parameters for the window
+// [iter/2, iter): the classic multi-chain diagnostic, or split-R̂ for a
+// single chain — mirroring the batch rhatOf.
+func (st *streamRHat) maxRHat(chains []*mcmc.Samples, iter int) float64 {
+	st.last = iter
+	lo, hi := iter/2, iter
+	w := hi - lo
+	if len(chains) >= 2 {
+		if w < 2 {
+			return math.NaN()
+		}
+		for c, s := range chains {
+			st.lo[c].advance(s, lo)
+			st.hi[c].advance(s, hi)
+		}
+		maxR := 0.0
+		for d := 0; d < st.dim; d++ {
+			for c := range chains {
+				st.means[c], st.vars[c] = windowMoments(st.lo[c], st.hi[c], d)
+			}
+			r := diag.RHatFromMoments(st.means, st.vars, w)
+			if math.IsNaN(r) {
+				return math.NaN()
+			}
+			if r > maxR {
+				maxR = r
+			}
+		}
+		return maxR
+	}
+	// Single chain: split the window into its first and last w/2 draws
+	// (dropping the middle draw when w is odd), as diag.SplitRHat does.
+	if w < 4 {
+		return math.NaN()
+	}
+	h := w / 2
+	s := chains[0]
+	st.lo[0].advance(s, lo)
+	st.h1[0].advance(s, lo+h)
+	st.h2[0].advance(s, hi-h)
+	st.hi[0].advance(s, hi)
+	maxR := 0.0
+	for d := 0; d < st.dim; d++ {
+		st.means[0], st.vars[0] = windowMoments(st.lo[0], st.h1[0], d)
+		st.means[1], st.vars[1] = windowMoments(st.h2[0], st.hi[0], d)
+		r := diag.RHatFromMoments(st.means, st.vars, h)
+		if math.IsNaN(r) {
+			return math.NaN()
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	return maxR
+}

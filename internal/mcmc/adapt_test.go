@@ -137,7 +137,10 @@ func TestMassAdaptationAblation(t *testing.T) {
 
 func TestInitPointFindsFiniteDensity(t *testing.T) {
 	g := newGaussian()
-	q := initPoint(g, newTestRNG(5), 2)
+	q, fellBack := initPoint(g, newTestRNG(5), 2)
+	if fellBack {
+		t.Error("fell back to origin on an everywhere-finite density")
+	}
 	if lp := g.LogDensity(q); math.IsInf(lp, -1) || math.IsNaN(lp) {
 		t.Errorf("init point has bad density %g", lp)
 	}

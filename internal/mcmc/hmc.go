@@ -13,6 +13,7 @@ type hamiltonian struct {
 	target  Target
 	invMass []float64 // inverse diagonal mass matrix == posterior variances
 	dim     int
+	scratch *bufPool // per-chain scratch vectors (no locking needed)
 }
 
 func newHamiltonian(target Target) *hamiltonian {
@@ -21,7 +22,7 @@ func newHamiltonian(target Target) *hamiltonian {
 	for i := range inv {
 		inv[i] = 1
 	}
-	return &hamiltonian{target: target, invMass: inv, dim: dim}
+	return &hamiltonian{target: target, invMass: inv, dim: dim, scratch: newBufPool(dim)}
 }
 
 // sampleMomentum draws p ~ N(0, M) into p.
@@ -63,10 +64,11 @@ func (h *hamiltonian) leapfrog(q, p, grad []float64, eps float64) float64 {
 // evaluations spent.
 func (h *hamiltonian) findReasonableEpsilon(q0 []float64, r *rng.RNG) (float64, int64) {
 	eps := 1.0
-	dim := h.dim
-	q := make([]float64, dim)
-	p := make([]float64, dim)
-	grad := make([]float64, dim)
+	h.scratch.reset()
+	q := h.scratch.get()
+	p := h.scratch.get()
+	grad := h.scratch.get()
+	pTry := h.scratch.get()
 	var work int64
 
 	copy(q, q0)
@@ -82,7 +84,6 @@ func (h *hamiltonian) findReasonableEpsilon(q0 []float64, r *rng.RNG) (float64, 
 		copy(q, q0)
 		lp := h.target.LogDensityGrad(q, grad)
 		_ = lp
-		pTry := make([]float64, dim)
 		copy(pTry, p)
 		lpNew := h.leapfrog(q, pTry, grad, eps)
 		return lpNew - h.kinetic(pTry)
@@ -121,6 +122,7 @@ type hmcSampler struct {
 	q, p, grad []float64
 	qNew       []float64
 	gradNew    []float64
+	pNew       []float64
 	lp         float64
 
 	eps     float64
@@ -147,6 +149,7 @@ func newHMCSampler(target Target, r *rng.RNG, targetAccept, intTime float64, war
 		grad:    make([]float64, dim),
 		qNew:    make([]float64, dim),
 		gradNew: make([]float64, dim),
+		pNew:    make([]float64, dim),
 		intTime: intTime,
 		wf:      newWelford(dim),
 		sched:   newWarmupSchedule(warmup),
@@ -178,7 +181,7 @@ func (s *hmcSampler) Step() (float64, int64) {
 	}
 	copy(s.qNew, s.q)
 	copy(s.gradNew, s.grad)
-	p := make([]float64, len(s.p))
+	p := s.pNew
 	copy(p, s.p)
 	lp := s.lp
 	for i := 0; i < nSteps; i++ {

@@ -95,10 +95,13 @@ type Config struct {
 	DisableMassAdaptation bool
 }
 
-// StopRule decides whether sampling has converged. draws[c][i] is the i-th
-// draw of chain c; iter is the number of completed iterations.
+// StopRule decides whether sampling has converged. chains[c] is chain c's
+// draw store (column-major; see Samples); iter is the number of completed
+// iterations, and each store holds at least iter draws when the rule runs.
+// Implementations that keep incremental state may assume iter is
+// non-decreasing across calls within one run.
 type StopRule interface {
-	ShouldStop(draws [][][]float64, iter int) bool
+	ShouldStop(chains []*Samples, iter int) bool
 }
 
 // withDefaults returns a copy of c with defaults filled in.
@@ -138,9 +141,10 @@ func (c Config) withDefaults() Config {
 
 // ChainResult holds everything one chain produced.
 type ChainResult struct {
-	// Draws holds every iteration's unconstrained draw (warmup included;
-	// diagnostics discard the first half, matching the paper).
-	Draws [][]float64
+	// Samples holds every iteration's unconstrained draw (warmup included;
+	// diagnostics discard the first half, matching the paper) in a flat,
+	// column-major store preallocated to the iteration budget.
+	Samples *Samples
 	// LogDensity holds the log density of each draw.
 	LogDensity []float64
 	// Work holds gradient evaluations per iteration (leapfrog steps for
@@ -152,9 +156,18 @@ type ChainResult struct {
 	Divergences int
 	// StepSize is the adapted leapfrog step size after warmup.
 	StepSize float64
-	// AcceptRate is the mean acceptance statistic post-warmup.
+	// AcceptRate is the mean acceptance statistic over all executed
+	// iterations.
 	AcceptRate float64
+	// InitFallback reports that no finite-density starting point was found
+	// within the initialization attempt budget and the chain started from
+	// the origin instead.
+	InitFallback bool
 }
+
+// Draws materializes the chain's draws in the legacy row-major shape
+// (draw i, parameter d). It copies; hot paths should use Samples directly.
+func (c *ChainResult) Draws() [][]float64 { return c.Samples.Rows() }
 
 // TotalWork sums the chain's work units.
 func (c *ChainResult) TotalWork() int64 {
@@ -178,11 +191,12 @@ type Result struct {
 }
 
 // Draws returns draws[c][i] for all chains, truncated to the executed
-// iteration count.
+// iteration count. It materializes row-major copies from the flat stores;
+// diagnostics on hot paths should use Columns or SecondHalfColumns.
 func (r *Result) Draws() [][][]float64 {
 	out := make([][][]float64, len(r.Chains))
 	for i, c := range r.Chains {
-		out[i] = c.Draws
+		out[i] = c.Samples.Rows()
 	}
 	return out
 }
@@ -192,8 +206,33 @@ func (r *Result) Draws() [][][]float64 {
 func (r *Result) SecondHalfDraws() [][][]float64 {
 	out := make([][][]float64, len(r.Chains))
 	for i, c := range r.Chains {
-		h := len(c.Draws) / 2
-		out[i] = c.Draws[h:]
+		n := c.Samples.Len()
+		out[i] = c.Samples.RowsRange(n/2, n)
+	}
+	return out
+}
+
+// Columns returns zero-copy per-chain column views: Columns()[c][d][i] is
+// parameter d of draw i in chain c.
+func (r *Result) Columns() [][][]float64 {
+	out := make([][][]float64, len(r.Chains))
+	for i, c := range r.Chains {
+		out[i] = c.Samples.Columns()
+	}
+	return out
+}
+
+// SecondHalfColumns returns zero-copy column views over the second half of
+// each chain's draws: out[c][d] is parameter d's post-warmup series.
+func (r *Result) SecondHalfColumns() [][][]float64 {
+	out := make([][][]float64, len(r.Chains))
+	for i, c := range r.Chains {
+		n := c.Samples.Len()
+		cols := make([][]float64, c.Samples.Dim())
+		for d := range cols {
+			cols[d] = c.Samples.ColRange(d, n/2, n)
+		}
+		out[i] = cols
 	}
 	return out
 }

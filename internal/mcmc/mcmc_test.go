@@ -135,11 +135,11 @@ func TestParallelMatchesSequentialWorkAccounting(t *testing.T) {
 		t.Errorf("parallel changed work accounting: %d vs %d", seq.TotalWork(), par.TotalWork())
 	}
 	for c := range seq.Chains {
-		a := seq.Chains[c].Draws
-		b := par.Chains[c].Draws
-		for i := range a {
-			for d := range a[i] {
-				if a[i][d] != b[i][d] {
+		a := seq.Chains[c].Samples
+		b := par.Chains[c].Samples
+		for i := 0; i < a.Len(); i++ {
+			for d := 0; d < a.Dim(); d++ {
+				if a.At(i, d) != b.At(i, d) {
 					t.Fatalf("chain %d draw %d differs between parallel and sequential", c, i)
 				}
 			}
@@ -173,9 +173,10 @@ func TestLockstepParallelDeterministic(t *testing.T) {
 	seq := run(false)
 	par := run(true)
 	for c := range seq.Chains {
-		for i := range seq.Chains[c].Draws {
-			for d := range seq.Chains[c].Draws[i] {
-				if seq.Chains[c].Draws[i][d] != par.Chains[c].Draws[i][d] {
+		a, b := seq.Chains[c].Samples, par.Chains[c].Samples
+		for i := 0; i < a.Len(); i++ {
+			for d := 0; d < a.Dim(); d++ {
+				if a.At(i, d) != b.At(i, d) {
 					t.Fatalf("chain %d draw %d differs between lockstep modes", c, i)
 				}
 			}
@@ -185,7 +186,7 @@ func TestLockstepParallelDeterministic(t *testing.T) {
 
 type stopAfter struct{ n int }
 
-func (s *stopAfter) ShouldStop(draws [][][]float64, iter int) bool { return iter >= s.n }
+func (s *stopAfter) ShouldStop(chains []*Samples, iter int) bool { return iter >= s.n }
 
 func TestStopRuleTerminatesEarly(t *testing.T) {
 	g := newGaussian()
@@ -200,8 +201,8 @@ func TestStopRuleTerminatesEarly(t *testing.T) {
 		t.Errorf("stopped at %d, want 300", res.Iterations)
 	}
 	for _, c := range res.Chains {
-		if len(c.Draws) != 300 {
-			t.Errorf("chain has %d draws, want 300", len(c.Draws))
+		if c.Samples.Len() != 300 {
+			t.Errorf("chain has %d draws, want 300", c.Samples.Len())
 		}
 	}
 }

@@ -33,8 +33,15 @@ type nutsSampler struct {
 	divergent  bool
 	noMass     bool // skip mass-matrix adaptation (ablation)
 
-	// scratch buffers reused across iterations
-	dim int
+	// Scratch reused across iterations: the trajectory endpoints and the
+	// per-iteration arenas for subtree endpoint states and proposal
+	// vectors. Everything handed out during one Step is reclaimed at the
+	// start of the next, so steady-state iterations do not allocate.
+	dim    int
+	minus  *treeState
+	plus   *treeState
+	states *statePool
+	bufs   *bufPool
 }
 
 // treeState carries one endpoint of a NUTS trajectory.
@@ -71,6 +78,10 @@ func newNUTSSampler(target Target, r *rng.RNG, targetAccept float64, maxDepth, w
 		sched:    newWarmupSchedule(warmup),
 		warmup:   warmup,
 		dim:      dim,
+		minus:    newTreeState(dim),
+		plus:     newTreeState(dim),
+		states:   newStatePool(dim),
+		bufs:     newBufPool(dim),
 	}
 }
 
@@ -134,11 +145,13 @@ func (s *nutsSampler) buildTree(st *treeState, logU float64, dir float64, depth 
 		res.alpha = a
 		if logU <= joint {
 			res.n = 1
-			res.qProp = append([]float64(nil), st.q...)
-			res.gradProp = append([]float64(nil), st.grad...)
+			res.qProp = s.bufs.get()
+			copy(res.qProp, st.q)
+			res.gradProp = s.bufs.get()
+			copy(res.gradProp, st.grad)
 			res.lpProp = lp
 		}
-		endpoint := newTreeState(s.dim)
+		endpoint := s.states.get()
 		endpoint.copyFrom(st)
 		res.minus = endpoint
 		res.plus = endpoint
@@ -185,8 +198,10 @@ func (s *nutsSampler) Step() (float64, int64) {
 	s.divergent = false
 	var work int64
 
-	minus := newTreeState(s.dim)
-	plus := newTreeState(s.dim)
+	s.states.reset()
+	s.bufs.reset()
+	minus := s.minus
+	plus := s.plus
 	copy(minus.q, s.q)
 	copy(minus.grad, s.grad)
 	minus.lp = s.lp

@@ -1,0 +1,52 @@
+package mcmc
+
+// bufPool is a per-chain arena of dim-sized float64 scratch slices for
+// gradient/momentum/proposal vectors. Buffers are handed out in order and
+// reclaimed all at once with reset, so a sampler iteration reuses the same
+// backing memory every time: after the pool has grown to the high-water
+// mark of one iteration, get never allocates again. Pools are per chain
+// and therefore need no locking.
+type bufPool struct {
+	dim  int
+	bufs [][]float64
+	next int
+}
+
+func newBufPool(dim int) *bufPool { return &bufPool{dim: dim} }
+
+// get returns a dim-sized scratch slice. Contents are unspecified.
+func (p *bufPool) get() []float64 {
+	if p.next == len(p.bufs) {
+		p.bufs = append(p.bufs, make([]float64, p.dim))
+	}
+	b := p.bufs[p.next]
+	p.next++
+	return b
+}
+
+// reset reclaims every outstanding buffer. Callers must not use slices
+// obtained before the reset afterwards.
+func (p *bufPool) reset() { p.next = 0 }
+
+// statePool is the treeState analogue of bufPool, used by the NUTS
+// trajectory builder: each doubling round draws endpoint states from the
+// pool and the whole trajectory's states are reclaimed when the iteration
+// completes.
+type statePool struct {
+	dim    int
+	states []*treeState
+	next   int
+}
+
+func newStatePool(dim int) *statePool { return &statePool{dim: dim} }
+
+func (p *statePool) get() *treeState {
+	if p.next == len(p.states) {
+		p.states = append(p.states, newTreeState(p.dim))
+	}
+	s := p.states[p.next]
+	p.next++
+	return s
+}
+
+func (p *statePool) reset() { p.next = 0 }

@@ -16,7 +16,9 @@ type TargetFactory func() Target
 // parallel — the paper's coarse-grained chain-level parallelism. With a
 // StopRule, chains advance in lockstep rounds and the rule is consulted
 // every CheckInterval iterations — the paper's runtime convergence
-// detection (computation elision, §VI).
+// detection (computation elision, §VI). Lockstep rounds are coordinated by
+// persistent per-chain worker goroutines: the round costs two
+// synchronizations, not N goroutine launches.
 func Run(cfg Config, factory TargetFactory) *Result {
 	cfg = cfg.withDefaults()
 	warmup := int(float64(cfg.Iterations) * cfg.WarmupFrac)
@@ -28,13 +30,14 @@ func Run(cfg Config, factory TargetFactory) *Result {
 		targets[c] = factory()
 		r := rng.NewStream(cfg.Seed, c)
 		st := newStepper(cfg, targets[c], r, warmup)
-		q0 := initPoint(targets[c], rng.NewStream(cfg.Seed^0xabcdef, c), cfg.InitRadius)
+		q0, fellBack := initPoint(targets[c], rng.NewStream(cfg.Seed^0xabcdef, c), cfg.InitRadius)
 		st.Init(q0)
 		steppers[c] = st
 		chains[c] = &ChainResult{
-			Draws:      make([][]float64, 0, cfg.Iterations),
-			LogDensity: make([]float64, 0, cfg.Iterations),
-			Work:       make([]int64, 0, cfg.Iterations),
+			Samples:      NewSamples(targets[c].Dim(), cfg.Iterations),
+			LogDensity:   make([]float64, 0, cfg.Iterations),
+			Work:         make([]int64, 0, cfg.Iterations),
+			InitFallback: fellBack,
 		}
 	}
 
@@ -47,44 +50,51 @@ func Run(cfg Config, factory TargetFactory) *Result {
 }
 
 // initPoint draws a uniform(-r, r) starting point, retrying until the
-// density is finite (Stan's initialization strategy).
-func initPoint(t Target, r *rng.RNG, radius float64) []float64 {
+// density is finite (Stan's initialization strategy). When no finite point
+// is found in 100 attempts it falls back to the origin and reports the
+// fallback, which the runner records on the chain result rather than
+// hiding it.
+func initPoint(t Target, r *rng.RNG, radius float64) (q []float64, fellBack bool) {
 	dim := t.Dim()
-	q := make([]float64, dim)
+	q = make([]float64, dim)
 	for attempt := 0; attempt < 100; attempt++ {
 		for i := range q {
 			q[i] = (2*r.Float64() - 1) * radius
 		}
 		if lp := t.LogDensity(q); !isNegInf(lp) && !isNaN(lp) {
-			return q
+			return q, false
 		}
 	}
 	for i := range q {
 		q[i] = 0
 	}
-	return q
+	return q, true
 }
 
 func isNegInf(x float64) bool { return x < -1e300 }
 func isNaN(x float64) bool    { return x != x }
 
 // runFree runs every chain to its full iteration budget, in parallel when
-// configured.
+// configured. The mean acceptance statistic is accumulated over all
+// executed iterations, exactly as the lockstep path does.
 func runFree(cfg Config, steppers []stepper, chains []*ChainResult) {
 	runChain := func(c int) {
 		st := steppers[c]
 		res := chains[c]
+		var acceptSum float64
 		for i := 0; i < cfg.Iterations; i++ {
 			lp, work := st.Step()
-			res.Draws = append(res.Draws, snapshot(st.Current()))
+			res.Samples.Append(st.Current())
 			res.LogDensity = append(res.LogDensity, lp)
 			res.Work = append(res.Work, work)
+			acceptSum += st.AcceptStat()
 			if st.Divergent() {
 				res.Divergences++
 			}
 		}
 		st.EndWarmup()
 		res.StepSize = st.StepSize()
+		res.AcceptRate = acceptSum / float64(cfg.Iterations)
 	}
 	if cfg.Parallel {
 		var wg sync.WaitGroup
@@ -101,21 +111,71 @@ func runFree(cfg Config, steppers []stepper, chains []*ChainResult) {
 			runChain(c)
 		}
 	}
-	finalizeAcceptance(cfg, chains, steppers)
+}
+
+// workerPool runs one persistent goroutine per chain and coordinates
+// lockstep rounds with a reusable barrier: the coordinator signals each
+// worker's start channel and waits on a shared WaitGroup. Steady-state
+// round cost is one channel send + one WaitGroup decrement per chain —
+// no goroutine creation, no per-round allocation.
+type workerPool struct {
+	start []chan struct{}
+	round sync.WaitGroup
+	exit  sync.WaitGroup
+}
+
+// newWorkerPool spawns len(steppers) workers executing stepOne(c) each
+// time chain c's round is signaled.
+func newWorkerPool(n int, stepOne func(c int)) *workerPool {
+	p := &workerPool{start: make([]chan struct{}, n)}
+	for c := 0; c < n; c++ {
+		p.start[c] = make(chan struct{}, 1)
+		p.exit.Add(1)
+		go func(c int) {
+			defer p.exit.Done()
+			for range p.start[c] {
+				stepOne(c)
+				p.round.Done()
+			}
+		}(c)
+	}
+	return p
+}
+
+// step runs one lockstep round across all workers and blocks until every
+// chain has advanced.
+func (p *workerPool) step() {
+	p.round.Add(len(p.start))
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.round.Wait()
+}
+
+// close shuts the workers down and waits for them to exit.
+func (p *workerPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.exit.Wait()
 }
 
 // runLockstep advances all chains one iteration per round and consults the
 // stop rule periodically. With cfg.Parallel the chains within a round run
-// on separate goroutines (they are independent, so results are identical
-// to sequential execution). Returns executed iterations and whether the
-// run was elided.
+// on persistent worker goroutines (they are independent, so results are
+// identical to sequential execution). Returns executed iterations and
+// whether the run was elided.
 func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult) (int, bool) {
-	draws := make([][][]float64, len(chains))
+	views := make([]*Samples, len(chains))
+	for c := range chains {
+		views[c] = chains[c].Samples
+	}
 	acceptSums := make([]float64, len(chains))
-	stepOne := func(c int, st stepper) {
+	stepOne := func(c int) {
+		st := steppers[c]
 		lp, work := st.Step()
 		res := chains[c]
-		res.Draws = append(res.Draws, snapshot(st.Current()))
+		res.Samples.Append(st.Current())
 		res.LogDensity = append(res.LogDensity, lp)
 		res.Work = append(res.Work, work)
 		acceptSums[c] += st.AcceptStat()
@@ -123,62 +183,42 @@ func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult) (int, bo
 			res.Divergences++
 		}
 	}
+
+	var pool *workerPool
+	if cfg.Parallel && len(steppers) > 1 {
+		pool = newWorkerPool(len(steppers), stepOne)
+		defer pool.close()
+	}
+
+	finalize := func(done int) {
+		for c, st := range steppers {
+			st.EndWarmup()
+			chains[c].StepSize = st.StepSize()
+			chains[c].AcceptRate = acceptSums[c] / float64(done)
+		}
+	}
+
 	for it := 0; it < cfg.Iterations; it++ {
-		if cfg.Parallel && len(steppers) > 1 {
-			var wg sync.WaitGroup
-			for c, st := range steppers {
-				wg.Add(1)
-				go func(c int, st stepper) {
-					defer wg.Done()
-					stepOne(c, st)
-				}(c, st)
-			}
-			wg.Wait()
+		if pool != nil {
+			pool.step()
 		} else {
-			for c, st := range steppers {
-				stepOne(c, st)
+			for c := range steppers {
+				stepOne(c)
 			}
 		}
 		done := it + 1
 		if done >= cfg.MinIterations && done%cfg.CheckInterval == 0 {
-			for c := range chains {
-				draws[c] = chains[c].Draws
-			}
-			if cfg.StopRule.ShouldStop(draws, done) {
-				for c, st := range steppers {
-					st.EndWarmup()
-					chains[c].StepSize = st.StepSize()
-					chains[c].AcceptRate = acceptSums[c] / float64(done)
-				}
+			if cfg.StopRule.ShouldStop(views, done) {
+				finalize(done)
 				return done, true
 			}
 		}
 	}
-	for c, st := range steppers {
-		st.EndWarmup()
-		chains[c].StepSize = st.StepSize()
-		chains[c].AcceptRate = acceptSums[c] / float64(cfg.Iterations)
-	}
+	finalize(cfg.Iterations)
 	return cfg.Iterations, false
-}
-
-func finalizeAcceptance(cfg Config, chains []*ChainResult, steppers []stepper) {
-	// Free-running mode reports the last acceptance statistic as a cheap
-	// proxy; lockstep mode accumulates the true mean.
-	for c, st := range steppers {
-		if chains[c].AcceptRate == 0 {
-			chains[c].AcceptRate = st.AcceptStat()
-		}
-	}
 }
 
 // finish assembles the Result.
 func finish(cfg Config, chains []*ChainResult, iters int, elided bool) *Result {
 	return &Result{Chains: chains, Iterations: iters, Elided: elided, Config: cfg}
-}
-
-func snapshot(x []float64) []float64 {
-	c := make([]float64, len(x))
-	copy(c, x)
-	return c
 }

@@ -1,0 +1,76 @@
+package mcmc_test
+
+import (
+	"testing"
+
+	"bayessuite/internal/elide"
+	"bayessuite/internal/mcmc"
+)
+
+// benchGaussian is a mid-size diagonal Gaussian: big enough that draw
+// storage and R-hat checks matter, small enough that gradient time does
+// not drown the runner overhead under measurement.
+type benchGaussian struct{ dim int }
+
+func (g *benchGaussian) Dim() int { return g.dim }
+
+func (g *benchGaussian) LogDensityGrad(q, grad []float64) float64 {
+	lp := 0.0
+	for i := range q {
+		lp += -0.5 * q[i] * q[i]
+		grad[i] = -q[i]
+	}
+	return lp
+}
+
+func (g *benchGaussian) LogDensity(q []float64) float64 {
+	lp := 0.0
+	for i := range q {
+		lp += -0.5 * q[i] * q[i]
+	}
+	return lp
+}
+
+// neverStop keeps the lockstep machinery (and the R-hat math inside a
+// Detector) running for the full budget: threshold below 1 can never be
+// crossed, so the run is never elided and every check is measured.
+func neverStop() *elide.Detector { return &elide.Detector{Threshold: 0.5} }
+
+// BenchmarkRunnerLockstepElide measures the paper-mode hot path: 4 chains
+// in lockstep with a convergence check every 10 iterations.
+func BenchmarkRunnerLockstepElide(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mcmc.Run(mcmc.Config{
+			Chains: 4, Iterations: 1000, Sampler: mcmc.HMC, Seed: 11,
+			StopRule: neverStop(), CheckInterval: 10, MinIterations: 20,
+			Parallel: true,
+		}, func() mcmc.Target { return &benchGaussian{dim: 16} })
+		if res.Elided {
+			b.Fatal("benchmark run elided")
+		}
+	}
+}
+
+// BenchmarkRunnerLockstepSequential is the same path without goroutines,
+// isolating the per-round coordination cost from chain-level parallelism.
+func BenchmarkRunnerLockstepSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mcmc.Run(mcmc.Config{
+			Chains: 4, Iterations: 1000, Sampler: mcmc.HMC, Seed: 11,
+			StopRule: neverStop(), CheckInterval: 10, MinIterations: 20,
+		}, func() mcmc.Target { return &benchGaussian{dim: 16} })
+		if res.Elided {
+			b.Fatal("benchmark run elided")
+		}
+	}
+}
+
+// BenchmarkRunnerFree measures the no-StopRule path (independent chains).
+func BenchmarkRunnerFree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mcmc.Run(mcmc.Config{
+			Chains: 4, Iterations: 1000, Sampler: mcmc.HMC, Seed: 11,
+			Parallel: true,
+		}, func() mcmc.Target { return &benchGaussian{dim: 16} })
+	}
+}

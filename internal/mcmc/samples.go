@@ -1,0 +1,120 @@
+package mcmc
+
+// Samples is a flat, preallocated draw store for one chain. Draws are kept
+// column-major — data[d*stride+i] is parameter d of draw i — so the
+// diagnostics that scan one parameter across many draws (R-hat, ESS,
+// posterior summaries) walk contiguous memory, and appending a draw never
+// allocates once the buffer is sized. The runner sizes one Samples per
+// chain at Iterations×Dim up front, which is what makes the sampling hot
+// path allocation-free in steady state.
+type Samples struct {
+	data   []float64
+	stride int // rows per column (capacity in draws)
+	dim    int
+	n      int
+}
+
+// NewSamples returns an empty store for dim-parameter draws with room for
+// capacity draws before any reallocation.
+func NewSamples(dim, capacity int) *Samples {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Samples{
+		data:   make([]float64, dim*capacity),
+		stride: capacity,
+		dim:    dim,
+	}
+}
+
+// Len returns the number of draws recorded.
+func (s *Samples) Len() int { return s.n }
+
+// Dim returns the parameter dimension.
+func (s *Samples) Dim() int { return s.dim }
+
+// At returns parameter d of draw i.
+func (s *Samples) At(i, d int) float64 { return s.data[d*s.stride+i] }
+
+// Append records one draw, copying q into the buffer.
+func (s *Samples) Append(q []float64) {
+	if len(q) != s.dim {
+		panic("mcmc: Samples.Append dimension mismatch")
+	}
+	if s.n == s.stride {
+		s.grow()
+	}
+	base := s.n
+	for d, v := range q {
+		s.data[d*s.stride+base] = v
+	}
+	s.n++
+}
+
+// grow doubles the per-column capacity, re-laying out existing columns.
+func (s *Samples) grow() {
+	newStride := 2 * s.stride
+	nd := make([]float64, s.dim*newStride)
+	for d := 0; d < s.dim; d++ {
+		copy(nd[d*newStride:], s.data[d*s.stride:d*s.stride+s.n])
+	}
+	s.data = nd
+	s.stride = newStride
+}
+
+// Col returns parameter d's values over all recorded draws, as a direct
+// view into the buffer (no copy). Callers must not mutate it.
+func (s *Samples) Col(d int) []float64 {
+	return s.data[d*s.stride : d*s.stride+s.n]
+}
+
+// ColRange returns parameter d's values for draws [lo, hi), zero-copy.
+func (s *Samples) ColRange(d, lo, hi int) []float64 {
+	return s.data[d*s.stride+lo : d*s.stride+hi]
+}
+
+// Row copies draw i into dst (which must have length Dim) and returns dst.
+func (s *Samples) Row(i int, dst []float64) []float64 {
+	for d := 0; d < s.dim; d++ {
+		dst[d] = s.data[d*s.stride+i]
+	}
+	return dst
+}
+
+// Rows materializes all draws in the legacy row-major [][]float64 shape.
+// It copies; use the column accessors on hot paths.
+func (s *Samples) Rows() [][]float64 {
+	return s.RowsRange(0, s.n)
+}
+
+// RowsRange materializes draws [lo, hi) row-major. One backing array is
+// shared by the returned rows.
+func (s *Samples) RowsRange(lo, hi int) [][]float64 {
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	flat := make([]float64, (hi-lo)*s.dim)
+	out := make([][]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		row := flat[(i-lo)*s.dim : (i-lo+1)*s.dim]
+		s.Row(i, row)
+		out[i-lo] = row
+	}
+	return out
+}
+
+// Columns returns zero-copy column views for every parameter:
+// Columns()[d][i] is parameter d of draw i.
+func (s *Samples) Columns() [][]float64 {
+	out := make([][]float64, s.dim)
+	for d := 0; d < s.dim; d++ {
+		out[d] = s.Col(d)
+	}
+	return out
+}

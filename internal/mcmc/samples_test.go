@@ -1,0 +1,69 @@
+package mcmc
+
+import "testing"
+
+func TestSamplesRoundTrip(t *testing.T) {
+	s := NewSamples(3, 4)
+	draws := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+		{10, 11, 12},
+		{13, 14, 15}, // forces a grow past the initial capacity
+	}
+	for _, q := range draws {
+		s.Append(q)
+	}
+	if s.Len() != 5 || s.Dim() != 3 {
+		t.Fatalf("shape (%d,%d)", s.Len(), s.Dim())
+	}
+	for i, q := range draws {
+		for d, v := range q {
+			if s.At(i, d) != v {
+				t.Errorf("At(%d,%d) = %v, want %v", i, d, s.At(i, d), v)
+			}
+		}
+	}
+	// Column views are contiguous and ordered by draw.
+	col := s.Col(1)
+	want := []float64{2, 5, 8, 11, 14}
+	for i, v := range want {
+		if col[i] != v {
+			t.Errorf("Col(1)[%d] = %v, want %v", i, col[i], v)
+		}
+	}
+	if got := s.ColRange(2, 1, 4); len(got) != 3 || got[0] != 6 || got[2] != 12 {
+		t.Errorf("ColRange(2,1,4) = %v", got)
+	}
+	// Row-major materialization matches.
+	rows := s.Rows()
+	for i, q := range draws {
+		for d, v := range q {
+			if rows[i][d] != v {
+				t.Errorf("Rows()[%d][%d] = %v, want %v", i, d, rows[i][d], v)
+			}
+		}
+	}
+	if rr := s.RowsRange(2, 4); len(rr) != 2 || rr[0][0] != 7 || rr[1][2] != 12 {
+		t.Errorf("RowsRange(2,4) = %v", rr)
+	}
+	if rr := s.RowsRange(4, 99); len(rr) != 1 || rr[0][1] != 14 {
+		t.Errorf("RowsRange clamps badly: %v", rr)
+	}
+	cols := s.Columns()
+	if len(cols) != 3 || cols[0][4] != 13 {
+		t.Errorf("Columns() = %v", cols)
+	}
+}
+
+func TestSamplesAppendNoAllocWithinCapacity(t *testing.T) {
+	s := NewSamples(8, 1024)
+	q := make([]float64, 8)
+	for i := 0; i < 500; i++ {
+		s.Append(q)
+	}
+	avg := testing.AllocsPerRun(200, func() { s.Append(q) })
+	if avg != 0 {
+		t.Errorf("Append allocated %.2f times within capacity", avg)
+	}
+}

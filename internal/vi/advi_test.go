@@ -112,8 +112,9 @@ func TestADVICheaperThanNUTSOnWorkload(t *testing.T) {
 	betaIdx := w.Model.Dim() - 1
 	var mean, n float64
 	for _, ch := range nuts.Chains {
-		for _, d := range ch.Draws[len(ch.Draws)/2:] {
-			mean += d[betaIdx]
+		s := ch.Samples
+		for _, v := range s.ColRange(betaIdx, s.Len()/2, s.Len()) {
+			mean += v
 			n++
 		}
 	}
