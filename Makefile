@@ -7,12 +7,18 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-runner
+.PHONY: ci build fmt-check vet test race bench bench-runner bench-json
 
-ci: vet test race
+ci: fmt-check vet test race
 
 build:
 	$(GO) build ./...
+
+# Gate on canonical formatting: gofmt -l prints offending files, so any
+# output fails the target.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -34,3 +40,8 @@ bench-runner:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Regenerate BENCH_2.json: fused-kernel vs legacy-tape gradient cost
+# (ns/iter, allocs/op, speedup) for every kernel-backed workload.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_2.json

@@ -1,0 +1,184 @@
+// Command benchjson measures the fused-kernel gradient path against the
+// legacy node-per-observation tape path for every kernel-backed registry
+// workload, plus a large-N hierarchical Gaussian GLM that shows the
+// asymptotic limit of the kernel layer, and writes the numbers as JSON.
+//
+// The output is deliberately timestamp-free so regenerating it on the
+// same machine produces a reviewable diff of just the numbers.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_2.json] [-scale 1.0] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"bayessuite/internal/ad"
+	"bayessuite/internal/dist"
+	"bayessuite/internal/kernels"
+	"bayessuite/internal/model"
+	"bayessuite/internal/rng"
+	"bayessuite/internal/workloads"
+)
+
+// entry is one kernel-vs-tape comparison in the emitted JSON.
+type entry struct {
+	Workload      string  `json:"workload"`
+	Dim           int     `json:"dim"`
+	KernelNsOp    int64   `json:"kernel_ns_op"`
+	TapeNsOp      int64   `json:"tape_ns_op"`
+	KernelAllocs  int64   `json:"kernel_allocs_op"`
+	TapeAllocs    int64   `json:"tape_allocs_op"`
+	KernelSpeedup float64 `json:"kernel_speedup"`
+}
+
+type report struct {
+	Description string  `json:"description"`
+	Scale       float64 `json:"scale"`
+	Entries     []entry `json:"entries"`
+}
+
+func main() {
+	testing.Init() // registers test.* flags so test.benchtime can be set
+	out := flag.String("o", "BENCH_2.json", "output path")
+	scale := flag.Float64("scale", 1.0, "workload dataset scale")
+	benchtime := flag.Duration("benchtime", 0, "per-measurement budget (0 = testing default)")
+	flag.Parse()
+	if *benchtime > 0 {
+		// testing.Benchmark honours the flag, not an API knob.
+		if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := report{
+		Description: "gradient-evaluation cost: fused analytic kernels vs legacy node-per-observation tape",
+		Scale:       *scale,
+	}
+	for _, w := range workloads.All(*scale, 3) {
+		if !w.UsesKernels() {
+			continue
+		}
+		rep.Entries = append(rep.Entries, measure(w.Info.Name, w.Model, w.TapeModel()))
+	}
+	rep.Entries = append(rep.Entries,
+		measure("normal-glm-60k", newNormalGLM(true), newNormalGLM(false)))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+}
+
+// measure times LogDensityGrad on both paths at a fixed off-origin point.
+func measure(name string, kernel, tape model.Model) entry {
+	e := entry{Workload: name, Dim: kernel.Dim()}
+	kns, kallocs := gradBench(kernel)
+	tns, tallocs := gradBench(tape)
+	e.KernelNsOp, e.KernelAllocs = kns, kallocs
+	e.TapeNsOp, e.TapeAllocs = tns, tallocs
+	if kns > 0 {
+		e.KernelSpeedup = float64(tns) / float64(kns)
+	}
+	return e
+}
+
+func gradBench(m model.Model) (nsOp, allocsOp int64) {
+	ev := model.NewEvaluator(m)
+	q := make([]float64, ev.Dim())
+	grad := make([]float64, ev.Dim())
+	for i := range q {
+		q[i] = 0.1 * float64(i%7)
+	}
+	ev.LogDensityGrad(q, grad) // reach arena high-water marks
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.LogDensityGrad(q, grad)
+		}
+	})
+	return r.NsPerOp(), r.AllocsPerOp()
+}
+
+// Large-N hierarchical Gaussian GLM (two covariates plus a group
+// intercept, n = 60000): no per-observation transcendentals, so the
+// taping overhead the kernel removes is the entire per-observation cost.
+// Mirrors BenchmarkGradientNormalGLM* in internal/mcmc.
+const (
+	normalGLMN      = 60000
+	normalGLMP      = 2
+	normalGLMGroups = 300
+)
+
+type normalGLM struct {
+	y, x  []float64
+	group []int
+	kern  *kernels.NormalIDGLM // nil on the tape path
+}
+
+func newNormalGLM(kernel bool) *normalGLM {
+	r := rng.New(41)
+	m := &normalGLM{
+		y:     make([]float64, normalGLMN),
+		x:     make([]float64, normalGLMN*normalGLMP),
+		group: make([]int, normalGLMN),
+	}
+	beta := []float64{0.6, -0.4}
+	for i := 0; i < normalGLMN; i++ {
+		eta := 0.0
+		for j := 0; j < normalGLMP; j++ {
+			v := r.Norm()
+			m.x[i*normalGLMP+j] = v
+			eta += v * beta[j]
+		}
+		gi := i % normalGLMGroups
+		m.group[i] = gi
+		eta += 0.3 * float64(gi%7-3)
+		m.y[i] = eta + 0.8*r.Norm()
+	}
+	if kernel {
+		m.kern = kernels.NewNormalIDGLM(m.y, m.x, normalGLMP, nil, m.group, normalGLMGroups)
+	}
+	return m
+}
+
+func (m *normalGLM) Name() string { return "normal-glm-60k" }
+func (m *normalGLM) Dim() int     { return normalGLMP + normalGLMGroups + 1 }
+
+func (m *normalGLM) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	b := model.NewBuilder(t)
+	beta := q[:normalGLMP]
+	u := q[normalGLMP : normalGLMP+normalGLMGroups]
+	sigma := b.Positive(q[normalGLMP+normalGLMGroups])
+	b.Add(dist.NormalLPDFVarData(t, beta, ad.Const(0), ad.Const(5)))
+	b.Add(dist.NormalLPDFVarData(t, u, ad.Const(0), ad.Const(1)))
+	b.Add(dist.HalfCauchyLPDF(t, sigma, 1))
+	if m.kern != nil {
+		b.Add(m.kern.LogLik(t, beta, u, sigma))
+		return b.Result()
+	}
+	mu := t.ScratchVars(normalGLMN)
+	for i := range mu {
+		mu[i] = t.Add(t.Dot(beta, m.x[i*normalGLMP:(i+1)*normalGLMP]), u[m.group[i]])
+	}
+	b.Add(dist.NormalLPDFVec(t, m.y, mu, sigma))
+	return b.Result()
+}

@@ -22,11 +22,12 @@ func BenchmarkTapeForwardReverse(b *testing.B) {
 	}
 	x := make([]float64, p)
 	grad := make([]float64, p)
+	q := make([]Var, p)
 	tp := NewTape(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tp.Reset()
-		q := tp.Input(x)
+		tp.InputInto(x, q)
 		mark := tp.BeginFused()
 		total := 0.0
 		for k := 0; k < n; k++ {
@@ -62,11 +63,13 @@ func BenchmarkCholeskyVar(b *testing.B) {
 	}
 	tp := NewTape(0)
 	grad := make([]float64, 1)
+	x := []float64{1.1}
+	q := make([]Var, 1)
+	a := make([]Var, n*n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tp.Reset()
-		q := tp.Input([]float64{1.1})
-		a := make([]Var, n*n)
+		tp.InputInto(x, q)
 		for k := range a {
 			a[k] = tp.MulConst(q[0], base[k])
 		}

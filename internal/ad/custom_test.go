@@ -1,0 +1,151 @@
+package ad
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCustomMatchesBuiltinOps checks a Custom node against the same
+// function recorded with elementary ops: f(a,b,c) = a*b + tanh(c).
+func TestCustomMatchesBuiltinOps(t *testing.T) {
+	x := []float64{1.3, -0.7, 2.1}
+
+	tp := NewTape(0)
+	q := tp.Input(x)
+	out := tp.Add(tp.Mul(q[0], q[1]), tp.Tanh(q[2]))
+	gradOps := make([]float64, 3)
+	tp.Grad(out, gradOps)
+
+	tp2 := NewTape(0)
+	q2 := tp2.Input(x)
+	th := math.Tanh(x[2])
+	val := x[0]*x[1] + th
+	partials := []float64{x[1], x[0], 1 - th*th}
+	out2 := tp2.Custom(val, q2, partials)
+	gradCustom := make([]float64, 3)
+	tp2.Grad(out2, gradCustom)
+
+	if out2.Value() != out.Value() {
+		t.Errorf("value: custom %g vs ops %g", out2.Value(), out.Value())
+	}
+	for i := range gradOps {
+		if gradCustom[i] != gradOps[i] {
+			t.Errorf("grad[%d]: custom %g vs ops %g", i, gradCustom[i], gradOps[i])
+		}
+	}
+	if tp2.Len() != 4 || tp2.EdgeLen() != 3 {
+		t.Errorf("custom tape should be 3 leaves + 1 node with 3 edges, got %d nodes %d edges",
+			tp2.Len(), tp2.EdgeLen())
+	}
+}
+
+// TestCustomSkipsConstants checks constant inputs contribute no edges and
+// that an all-constant Custom degenerates to a constant.
+func TestCustomSkipsConstants(t *testing.T) {
+	tp := NewTape(0)
+	q := tp.Input([]float64{2.0})
+	out := tp.Custom(5.0, []Var{q[0], Const(3)}, []float64{1.5, 99})
+	if got := tp.EdgeLen(); got != 1 {
+		t.Errorf("expected 1 edge (constant skipped), got %d", got)
+	}
+	grad := make([]float64, 1)
+	tp.Grad(out, grad)
+	if grad[0] != 1.5 {
+		t.Errorf("grad = %g, want 1.5", grad[0])
+	}
+
+	allConst := tp.Custom(7.0, []Var{Const(1), Const(2)}, []float64{1, 2})
+	if !allConst.IsConst() || allConst.Value() != 7.0 {
+		t.Errorf("all-constant Custom should be Const(7), got %+v", allConst)
+	}
+}
+
+func TestCustomLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inputs/partials length mismatch")
+		}
+	}()
+	tp := NewTape(0)
+	q := tp.Input([]float64{1})
+	tp.Custom(0, q, []float64{1, 2})
+}
+
+// TestScratchArenas checks block validity across growth and reuse across
+// Reset.
+func TestScratchArenas(t *testing.T) {
+	tp := NewTape(0)
+	a := tp.Scratch(4)
+	for i := range a {
+		a[i] = float64(i + 1)
+	}
+	b := tp.Scratch(1000) // forces arena growth
+	for i := range b {
+		b[i] = -1
+	}
+	// a must still hold its contents even though the arena grew.
+	for i := range a {
+		if a[i] != float64(i+1) {
+			t.Fatalf("scratch block clobbered by growth: a[%d]=%g", i, a[i])
+		}
+	}
+	v := tp.ScratchVars(8)
+	if len(v) != 8 {
+		t.Fatalf("ScratchVars length %d", len(v))
+	}
+
+	tp.Reset()
+	c := tp.Scratch(4)
+	if &c[0] != &tp.fscratch[0] {
+		t.Error("Scratch after Reset should reuse the arena from the start")
+	}
+
+	// Blocks must be capacity-clipped so append cannot bleed into the
+	// next block.
+	tp.Reset()
+	d := tp.Scratch(2)
+	e := tp.Scratch(2)
+	e[0], e[1] = 8, 9
+	d = append(d, 7)
+	if e[0] != 8 || e[1] != 9 {
+		t.Error("append to one scratch block overwrote the next")
+	}
+	_ = d
+}
+
+// TestGradPathZeroAllocs is the hot-path allocation guard for the
+// gradient evaluation cycle: Reset + InputInto + recording (including a
+// Custom node fed from scratch arenas) + Grad must not allocate once
+// arenas have reached their high-water mark.
+func TestGradPathZeroAllocs(t *testing.T) {
+	const dim = 8
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = 0.1 * float64(i+1)
+	}
+	q := make([]Var, dim)
+	grad := make([]float64, dim)
+	tp := NewTape(0)
+
+	eval := func() {
+		tp.Reset()
+		tp.InputInto(x, q)
+		s := tp.Scratch(dim)
+		val := 0.0
+		for i, qi := range q {
+			s[i] = 2 * qi.Value()
+			val += qi.Value() * qi.Value()
+		}
+		ins := tp.ScratchVars(dim)
+		copy(ins, q)
+		sq := tp.Custom(val, ins, s)
+		out := tp.Add(sq, tp.Log1pExp(sq))
+		tp.Grad(out, grad)
+	}
+	for i := 0; i < 10; i++ {
+		eval() // reach arena high-water marks
+	}
+	if avg := testing.AllocsPerRun(200, eval); avg != 0 {
+		t.Errorf("gradient path allocates %.1f per evaluation, want 0", avg)
+	}
+}

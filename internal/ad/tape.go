@@ -47,6 +47,16 @@ type Tape struct {
 	edges []edgeRec
 	adj   []float64
 	nIn   int
+
+	// Scratch arenas handed out by Scratch/ScratchVars and reclaimed
+	// wholesale by Reset. Fused analytic kernels draw their per-evaluation
+	// buffers (parameter values, partial accumulators, shard slots) from
+	// here, so the kernel hot path allocates nothing once the arenas reach
+	// their high-water mark.
+	fscratch []float64
+	fnext    int
+	vscratch []Var
+	vnext    int
 }
 
 // NewTape returns an empty tape. hint is a capacity hint in nodes
@@ -66,6 +76,8 @@ func (t *Tape) Reset() {
 	t.nodes = t.nodes[:0]
 	t.edges = t.edges[:0]
 	t.nIn = 0
+	t.fnext = 0
+	t.vnext = 0
 }
 
 // Len returns the number of nodes currently on the tape. The hardware
@@ -173,6 +185,58 @@ func (t *Tape) EndFused(mark int32, val float64) Var {
 // of p with the given local partial and value.
 func (t *Tape) EndFusedSingle(p Var, partial, val float64) Var {
 	return t.node1(val, p, partial)
+}
+
+// Custom appends one node whose value and partials were computed outside
+// the tape. val is the node value and partials[i] must hold
+// d(val)/d(inputs[i]); constant inputs are skipped. This is the escape
+// hatch fused analytic kernels use: an entire dataset's log-likelihood
+// contributes a single node with O(len(inputs)) edges, so the tape stays
+// O(dim) no matter how many observations the kernel swept.
+func (t *Tape) Custom(val float64, inputs []Var, partials []float64) Var {
+	if len(inputs) != len(partials) {
+		panic("ad: Custom inputs/partials length mismatch")
+	}
+	mark := t.BeginFused()
+	for i, in := range inputs {
+		t.FusedEdge(in, partials[i])
+	}
+	return t.EndFused(mark, val)
+}
+
+// Scratch hands out an n-length float64 block from the tape's scratch
+// arena. Blocks are valid until the next Reset; their contents are
+// unspecified (callers must initialise what they read). Once the arena
+// reaches its per-evaluation high-water mark, Scratch never allocates.
+func (t *Tape) Scratch(n int) []float64 {
+	if t.fnext+n > len(t.fscratch) {
+		c := 2 * len(t.fscratch)
+		if c < t.fnext+n {
+			c = t.fnext + n
+		}
+		// Earlier blocks keep referencing the old backing array, which
+		// stays valid; only the arena pointer moves.
+		t.fscratch = make([]float64, c)
+		t.fnext = 0
+	}
+	s := t.fscratch[t.fnext : t.fnext+n : t.fnext+n]
+	t.fnext += n
+	return s
+}
+
+// ScratchVars is Scratch for []Var blocks.
+func (t *Tape) ScratchVars(n int) []Var {
+	if t.vnext+n > len(t.vscratch) {
+		c := 2 * len(t.vscratch)
+		if c < t.vnext+n {
+			c = t.vnext + n
+		}
+		t.vscratch = make([]Var, c)
+		t.vnext = 0
+	}
+	s := t.vscratch[t.vnext : t.vnext+n : t.vnext+n]
+	t.vnext += n
+	return s
 }
 
 // Grad performs the reverse sweep from out and writes d(out)/d(input_i)

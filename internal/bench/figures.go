@@ -556,7 +556,7 @@ func (h *Harness) FigVI() []VIRow {
 		ref := diag.FlattenChains(nuts.SecondHalfDraws())
 
 		h.logf("ADVI fit %s...\n", name)
-		ev := model.NewEvaluator(w.Model)
+		ev := model.NewEvaluator(w.TapeModel())
 		fit := vi.Fit(ev, vi.Config{Iterations: 3000, Seed: h.opt.Seed})
 		approx := fit.Sample(len(ref), h.opt.Seed+1)
 
@@ -613,7 +613,7 @@ func (h *Harness) groundTruth2x(name string, iters int) *mcmc.Result {
 		Iterations: iters,
 		Seed:       h.opt.Seed + 99,
 		Parallel:   h.opt.Parallel,
-	}, func() mcmc.Target { return model.NewEvaluator(w.Model) })
+	}, func() mcmc.Target { return model.NewEvaluator(w.TapeModel()) })
 }
 
 func secondHalfFlat(r *mcmc.Result) [][]float64 {

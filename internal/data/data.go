@@ -80,3 +80,20 @@ func Linspace(lo, hi float64, m int) []float64 {
 	}
 	return out
 }
+
+// Flatten packs a row-major matrix into one contiguous slice — the layout
+// the fused likelihood kernels sweep. Rows must have equal length.
+func Flatten(m [][]float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	p := len(m[0])
+	out := make([]float64, 0, len(m)*p)
+	for _, row := range m {
+		if len(row) != p {
+			panic("data: Flatten on ragged matrix")
+		}
+		out = append(out, row...)
+	}
+	return out
+}

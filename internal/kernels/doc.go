@@ -1,0 +1,24 @@
+// Package kernels provides fused analytic value-and-gradient kernels for
+// the likelihood families the registry workloads actually use: identity-link
+// normal GLMs, logit-link bernoulli GLMs, log-link poisson GLMs, normal
+// sufficient statistics, and hierarchical normal deviation blocks.
+//
+// The generic tape path records one node (and at least one edge) per
+// observation, so the per-leapfrog working set grows with the modeled data
+// size — that is the coupling the paper's LLC analysis is built on, and it
+// is preserved verbatim behind Workload.TapeModel for characterization.
+// A kernel instead computes the whole-dataset log-likelihood and its exact
+// gradient with respect to coefficients, group effects, and scale in one
+// cache-friendly pass over flat float64 data, then records the result as a
+// single ad.Tape.Custom node with O(dim) edges. This mirrors Stan's
+// *_glm_lpdf substitution: the math is identical, only the recording
+// granularity changes.
+//
+// Large-N kernels shard the observation range across a bounded set of
+// workers (SetParallelism). Shard boundaries depend only on N — never on
+// the parallelism setting — and shard partials are reduced sequentially in
+// shard order, so seeded runs are bit-identical at any parallelism level.
+// The default SetParallelism(1) path spawns no goroutines and performs no
+// heap allocation: every per-evaluation buffer comes from the tape's
+// scratch arenas.
+package kernels

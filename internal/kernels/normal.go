@@ -1,0 +1,80 @@
+package kernels
+
+import (
+	"math"
+
+	"bayessuite/internal/ad"
+	"bayessuite/internal/mathx"
+)
+
+// NormalDeviations records sum_i log N(u_i | mu, sigma) where the
+// deviations u themselves are tracked parameters — the non-centred
+// hierarchical block (raw ~ N(0,1)) and vector priors. mu and sigma may
+// be tracked or ad.Const; constant inputs contribute no edges. The
+// accumulation order matches dist.NormalLPDFVarData exactly, so swapping
+// one for the other does not perturb a seeded trajectory.
+func NormalDeviations(t *ad.Tape, u []ad.Var, mu, sigma ad.Var) ad.Var {
+	n := len(u)
+	m := mu.Value()
+	s := sigma.Value()
+	inv := 1 / s
+	dU := t.Scratch(n + 2)
+	var val, dmu, dsigma float64
+	for i, ui := range u {
+		z := (ui.Value() - m) * inv
+		val += -0.5 * z * z
+		dU[i] = -z * inv
+		dmu += z * inv
+		dsigma += (z*z - 1) * inv
+	}
+	val += float64(n) * (-math.Log(s) - mathx.LnSqrt2Pi)
+	dU[n] = dmu
+	dU[n+1] = dsigma
+	ins := t.ScratchVars(n + 2)
+	copy(ins, u)
+	ins[n] = mu
+	ins[n+1] = sigma
+	return t.Custom(val, ins, dU)
+}
+
+// NormalSuffStats holds the sufficient statistics (n, Σy, Σy²) of a fixed
+// iid normal sample so each evaluation of the log-likelihood is O(1) in
+// the data size — the Pichler & Jewson substitution for conjugate-shaped
+// blocks. Build once per dataset with NewNormalSuffStats.
+type NormalSuffStats struct {
+	N     float64
+	Sum   float64
+	SumSq float64
+}
+
+// NewNormalSuffStats scans y once and caches its sufficient statistics.
+func NewNormalSuffStats(y []float64) NormalSuffStats {
+	var st NormalSuffStats
+	st.N = float64(len(y))
+	for _, yi := range y {
+		st.Sum += yi
+		st.SumSq += yi * yi
+	}
+	return st
+}
+
+// LogLik records sum_i log N(y_i | mu, sigma) from the cached statistics:
+//
+//	-(Σy² - 2μΣy + nμ²)/(2σ²) - n·log σ - n·log √(2π)
+//
+// with exact partials dμ = (Σy - nμ)/σ² and
+// dσ = (Σy² - 2μΣy + nμ²)/σ³ - n/σ.
+func (st NormalSuffStats) LogLik(t *ad.Tape, mu, sigma ad.Var) ad.Var {
+	m := mu.Value()
+	s := sigma.Value()
+	inv := 1 / s
+	inv2 := inv * inv
+	q := st.SumSq - 2*m*st.Sum + st.N*m*m
+	val := -0.5*q*inv2 + st.N*(-math.Log(s)-mathx.LnSqrt2Pi)
+	dmu := (st.Sum - st.N*m) * inv2
+	dsigma := q*inv2*inv - st.N*inv
+	mark := t.BeginFused()
+	t.FusedEdge(mu, dmu)
+	t.FusedEdge(sigma, dsigma)
+	return t.EndFused(mark, val)
+}

@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sharding geometry. shardTarget is the number of observations a shard
+// aims for; maxShards bounds per-evaluation scratch. Both are fixed
+// constants so shard boundaries are a pure function of N: changing the
+// worker count never changes which observations share a partial sum, and
+// the reduction below always walks shards in index order. That is what
+// keeps seeded runs bit-identical across parallelism levels.
+const (
+	shardTarget = 1024
+	maxShards   = 32
+
+	// accPad rounds each shard's accumulator slot up to a full cache
+	// line of float64s so concurrent shard writers never false-share.
+	accPad = 8
+
+	maxWorkers = 64
+)
+
+var workers atomic.Int64
+
+func init() { workers.Store(1) }
+
+// SetParallelism sets the number of workers used to sweep kernel shards
+// within a single log-density evaluation. n is clamped to [1, 64].
+// The default of 1 keeps evaluation on the calling goroutine with zero
+// allocation; higher settings may allocate per evaluation (goroutine and
+// closure bookkeeping) but never change results.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxWorkers {
+		n = maxWorkers
+	}
+	workers.Store(int64(n))
+}
+
+// Parallelism reports the current worker setting.
+func Parallelism() int { return int(workers.Load()) }
+
+// shardCount returns the number of shards for n observations — a function
+// of n only, independent of the parallelism setting.
+func shardCount(n int) int {
+	s := (n + shardTarget - 1) / shardTarget
+	if s < 1 {
+		s = 1
+	}
+	if s > maxShards {
+		s = maxShards
+	}
+	return s
+}
+
+// shardRange returns the half-open observation range of shard s of ns.
+func shardRange(n, ns, s int) (lo, hi int) {
+	per := (n + ns - 1) / ns
+	lo = s * per
+	hi = lo + per
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// padWidth rounds a shard accumulator width up to a cache-line multiple.
+func padWidth(w int) int {
+	return (w + accPad - 1) / accPad * accPad
+}
+
+// runShards executes fn(s) for every shard in [0, ns). With parallelism 1
+// (the default) it runs inline with no goroutines and no allocation.
+// Otherwise it spawns at most Parallelism()-1 helper workers that pull
+// shard indices from a shared cursor while the caller participates; fn
+// must write only to its shard's disjoint state. Which worker runs a
+// shard never matters because shards carry no cross-shard state and the
+// caller reduces them in order afterwards.
+func runShards(ns int, fn func(s int)) {
+	w := int(workers.Load())
+	if w > ns {
+		w = ns
+	}
+	if w <= 1 {
+		for s := 0; s < ns; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := next.Add(1) - 1
+				if s >= int64(ns) {
+					return
+				}
+				fn(int(s))
+			}
+		}()
+	}
+	for {
+		s := next.Add(1) - 1
+		if s >= int64(ns) {
+			break
+		}
+		fn(int(s))
+	}
+	wg.Wait()
+}

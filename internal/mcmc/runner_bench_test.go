@@ -3,8 +3,14 @@ package mcmc_test
 import (
 	"testing"
 
+	"bayessuite/internal/ad"
+	"bayessuite/internal/dist"
 	"bayessuite/internal/elide"
+	"bayessuite/internal/kernels"
 	"bayessuite/internal/mcmc"
+	"bayessuite/internal/model"
+	"bayessuite/internal/rng"
+	"bayessuite/internal/workloads"
 )
 
 // benchGaussian is a mid-size diagonal Gaussian: big enough that draw
@@ -73,4 +79,178 @@ func BenchmarkRunnerFree(b *testing.B) {
 			Parallel: true,
 		}, func() mcmc.Target { return &benchGaussian{dim: 16} })
 	}
+}
+
+// ---- Kernel-vs-tape gradient benchmarks on a real large-N GLM ----
+//
+// tickets at full scale (8000 officer-months, 13 covariates, 400
+// officers) is the suite's largest modeled dataset. The pair below
+// measures the same seeded sampling run with the likelihood evaluated
+// through the fused analytic kernel (the registry default) and through
+// the legacy node-per-observation tape; their ratio is the kernel
+// speedup tracked in BENCH_2.json.
+
+func benchWorkloadRun(b *testing.B, m model.Model) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Short integration time keeps the leapfrog count per iteration
+		// bounded so the benchmark cost tracks gradient-evaluation cost.
+		mcmc.Run(mcmc.Config{
+			Chains: 2, Iterations: 10, Sampler: mcmc.HMC, Seed: 19,
+			IntTime: 0.25,
+		}, func() mcmc.Target { return model.NewEvaluator(m) })
+	}
+}
+
+// BenchmarkRunnerGLMKernel drives HMC over tickets on the fused-kernel path.
+func BenchmarkRunnerGLMKernel(b *testing.B) {
+	w, err := workloads.New("tickets", 1.0, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkloadRun(b, w.Model)
+}
+
+// BenchmarkRunnerGLMTape is the identical run on the legacy tape path.
+func BenchmarkRunnerGLMTape(b *testing.B) {
+	w, err := workloads.New("tickets", 1.0, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkloadRun(b, w.TapeModel())
+}
+
+// BenchmarkGradientGLMKernel isolates one gradient evaluation on the
+// kernel path (steady-state allocations must be zero).
+func BenchmarkGradientGLMKernel(b *testing.B) {
+	w, err := workloads.New("tickets", 1.0, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGradient(b, w.Model)
+}
+
+// BenchmarkGradientGLMTape isolates one gradient evaluation on the
+// legacy tape path.
+func BenchmarkGradientGLMTape(b *testing.B) {
+	w, err := workloads.New("tickets", 1.0, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGradient(b, w.TapeModel())
+}
+
+func benchGradient(b *testing.B, m model.Model) {
+	b.Helper()
+	ev := model.NewEvaluator(m)
+	q := make([]float64, ev.Dim())
+	grad := make([]float64, ev.Dim())
+	for i := range q {
+		q[i] = 0.1 * float64(i%7)
+	}
+	ev.LogDensityGrad(q, grad) // warm arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.LogDensityGrad(q, grad)
+	}
+}
+
+// ---- Large-N normal-id GLM: the asymptotic kernel-vs-tape headline ----
+//
+// A hierarchical Gaussian regression (two covariates plus a group
+// intercept — the memory/12cities shape at scale) has no per-observation
+// transcendentals, so taping overhead (node + edge recording and the
+// reverse sweep) is the entire per-observation cost the fused kernel
+// removes. At n = 60000 the gradient-evaluation speedup is the
+// asymptotic limit of what the kernel layer buys; logit/Poisson
+// workloads sit lower because exp/log1p dominate both paths there.
+
+const (
+	normalGLMN      = 60000
+	normalGLMP      = 2
+	normalGLMGroups = 300
+)
+
+type normalGLMBench struct {
+	y, x  []float64
+	group []int
+	kern  *kernels.NormalIDGLM // nil on the tape path
+}
+
+func newNormalGLMBench(kernel bool) *normalGLMBench {
+	r := rng.New(41)
+	m := &normalGLMBench{
+		y:     make([]float64, normalGLMN),
+		x:     make([]float64, normalGLMN*normalGLMP),
+		group: make([]int, normalGLMN),
+	}
+	beta := []float64{0.6, -0.4}
+	for i := 0; i < normalGLMN; i++ {
+		eta := 0.0
+		for j := 0; j < normalGLMP; j++ {
+			v := r.Norm()
+			m.x[i*normalGLMP+j] = v
+			eta += v * beta[j]
+		}
+		gi := i % normalGLMGroups
+		m.group[i] = gi
+		eta += 0.3 * float64(gi%7-3)
+		m.y[i] = eta + 0.8*r.Norm()
+	}
+	if kernel {
+		m.kern = kernels.NewNormalIDGLM(m.y, m.x, normalGLMP, nil, m.group, normalGLMGroups)
+	}
+	return m
+}
+
+func (m *normalGLMBench) Name() string { return "normal-glm-bench" }
+func (m *normalGLMBench) Dim() int     { return normalGLMP + normalGLMGroups + 1 }
+
+func (m *normalGLMBench) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	b := model.NewBuilder(t)
+	beta := q[:normalGLMP]
+	u := q[normalGLMP : normalGLMP+normalGLMGroups]
+	sigma := b.Positive(q[normalGLMP+normalGLMGroups])
+	b.Add(dist.NormalLPDFVarData(t, beta, ad.Const(0), ad.Const(5)))
+	b.Add(dist.NormalLPDFVarData(t, u, ad.Const(0), ad.Const(1)))
+	b.Add(dist.HalfCauchyLPDF(t, sigma, 1))
+	if m.kern != nil {
+		b.Add(m.kern.LogLik(t, beta, u, sigma))
+		return b.Result()
+	}
+	// Legacy shape: one Dot node and one group-intercept Add per
+	// observation, then the vector normal recorder — the
+	// node-per-observation structure the kernel replaces.
+	mu := t.ScratchVars(normalGLMN)
+	for i := range mu {
+		mu[i] = t.Add(t.Dot(beta, m.x[i*normalGLMP:(i+1)*normalGLMP]), u[m.group[i]])
+	}
+	b.Add(dist.NormalLPDFVec(t, m.y, mu, sigma))
+	return b.Result()
+}
+
+// BenchmarkRunnerNormalGLMKernel samples the large-N Gaussian GLM on the
+// fused-kernel path (steady-state gradient allocations are zero).
+func BenchmarkRunnerNormalGLMKernel(b *testing.B) {
+	benchWorkloadRun(b, newNormalGLMBench(true))
+}
+
+// BenchmarkRunnerNormalGLMTape is the identical seeded run with the
+// likelihood recorded node-per-observation on the tape.
+func BenchmarkRunnerNormalGLMTape(b *testing.B) {
+	benchWorkloadRun(b, newNormalGLMBench(false))
+}
+
+// BenchmarkGradientNormalGLMKernel isolates one gradient evaluation of
+// the large-N Gaussian GLM on the kernel path.
+func BenchmarkGradientNormalGLMKernel(b *testing.B) {
+	benchGradient(b, newNormalGLMBench(true))
+}
+
+// BenchmarkGradientNormalGLMTape isolates one gradient evaluation on the
+// tape path.
+func BenchmarkGradientNormalGLMTape(b *testing.B) {
+	benchGradient(b, newNormalGLMBench(false))
 }

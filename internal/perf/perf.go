@@ -68,7 +68,7 @@ func Measure(w *workloads.Workload, opt Options) *hw.Profile {
 		Seed:       opt.Seed,
 		Parallel:   opt.Parallel,
 		Sampler:    opt.Sampler,
-	}, func() mcmc.Target { return model.NewEvaluator(w.Model) })
+	}, func() mcmc.Target { return model.NewEvaluator(w.TapeModel()) })
 
 	// Post-warmup work rate per chain (trees shrink once the step size
 	// adapts). The median over the window is robust to the occasional
@@ -115,9 +115,12 @@ func baseProfile(w *workloads.Workload, nodes, edges int) *hw.Profile {
 }
 
 // measureTape evaluates the log density and gradient once and reads the
-// tape arena sizes.
+// tape arena sizes. It deliberately measures the legacy tape path — the
+// Stan-shaped node-per-observation recording whose growth with modeled
+// data is the paper's working-set story — not the fused-kernel path the
+// samplers run, whose tape is O(dim) by construction.
 func measureTape(w *workloads.Workload) (nodes, edges int) {
-	ev := model.NewEvaluator(w.Model)
+	ev := model.NewEvaluator(w.TapeModel())
 	q := make([]float64, ev.Dim())
 	grad := make([]float64, ev.Dim())
 	ev.LogDensityGrad(q, grad)

@@ -4,6 +4,7 @@ import (
 	"bayessuite/internal/ad"
 	"bayessuite/internal/data"
 	"bayessuite/internal/dist"
+	"bayessuite/internal/kernels"
 	"bayessuite/internal/mathx"
 	"bayessuite/internal/model"
 	"bayessuite/internal/rng"
@@ -16,11 +17,18 @@ import (
 // movie. The modeled data — a dense respondent x covariate matrix — is
 // among the largest in the suite, which is what makes this workload
 // LLC-bound in the paper's multicore characterization (Fig. 2).
+//
+// The design matrix is stored flat (row-major n×p) and shared by two
+// likelihood implementations: the default fused bernoulli-logit GLM
+// kernel (bern != nil) and the legacy node-per-observation tape path the
+// characterization harness measures.
 type adAttribution struct {
-	x    [][]float64 // design matrix (intercept + channels + demographics)
-	y    []int       // watched indicator
+	x    []float64 // flat row-major design (intercept + channels + demographics)
+	y    []int     // watched indicator
 	p    int
 	beta []float64 // generative truth
+
+	bern *kernels.BernoulliLogitGLM // nil on the legacy tape path
 }
 
 // NewAd builds the ad workload at the given dataset scale.
@@ -30,19 +38,22 @@ func NewAd(scale float64, seed uint64) *Workload {
 	const p = 16
 
 	w := &adAttribution{p: p}
-	w.x = data.DesignMatrix(r, n, p)
+	w.x = data.Flatten(data.DesignMatrix(r, n, p))
 	w.beta = data.Coefficients(r, 0.8, p)
 	w.beta[0] = -0.5
 	w.y = make([]int, n)
 	for i := range w.y {
 		eta := 0.0
 		for j, b := range w.beta {
-			eta += b * w.x[i][j]
+			eta += b * w.x[i*p+j]
 		}
 		if r.Bernoulli(mathx.InvLogit(eta)) {
 			w.y[i] = 1
 		}
 	}
+	w.bern = kernels.NewBernoulliLogitGLM(w.y, w.x, p, nil, nil, 0)
+	legacy := *w
+	legacy.bern = nil
 	return &Workload{
 		Info: Info{
 			Name:          "ad",
@@ -57,7 +68,8 @@ func NewAd(scale float64, seed uint64) *Workload {
 			BaseIPC:       2.4,
 			Distributions: []string{"normal", "bernoulli-logit"},
 		},
-		Model: w,
+		Model:  w,
+		legacy: &legacy,
 	}
 }
 
@@ -72,6 +84,13 @@ func (w *adAttribution) ModeledDataBytes() int {
 }
 
 func (w *adAttribution) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	if w.bern != nil {
+		b := model.NewBuilder(t)
+		// Weakly informative priors on coefficients, fused into one node.
+		b.Add(kernels.NormalDeviations(t, q, ad.Const(0), ad.Const(2.5)))
+		b.Add(w.bern.LogLik(t, q, nil))
+		return b.Result()
+	}
 	b := model.NewBuilder(t)
 	// Weakly informative priors on coefficients.
 	for _, beta := range q {
@@ -80,7 +99,7 @@ func (w *adAttribution) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	// Linear predictor per respondent: eta_i = x_i . beta.
 	eta := make([]ad.Var, len(w.y))
 	for i := range w.y {
-		eta[i] = t.Dot(q, w.x[i])
+		eta[i] = t.Dot(q, w.x[i*w.p:(i+1)*w.p])
 	}
 	b.Add(dist.BernoulliLogitLPMFSum(t, w.y, eta))
 	return b.Result()

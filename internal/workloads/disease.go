@@ -21,6 +21,7 @@ type disease struct {
 	nPatients, nMarkers, nBasis int
 	basis                       *splines.ISpline
 	y                           [][]float64 // biomarker value per patient x marker
+	ycols                       [][]float64 // y transposed: one flat column per marker
 }
 
 // NewDisease builds the disease workload at the given dataset scale.
@@ -54,6 +55,16 @@ func NewDisease(scale float64, seed uint64) *Workload {
 			row[j] = v + sigma*r.Norm()
 		}
 		w.y = append(w.y, row)
+	}
+	// The likelihood consumes y one marker column at a time; transpose
+	// once here instead of re-copying the column every evaluation.
+	w.ycols = make([][]float64, nMarkers)
+	for j := 0; j < nMarkers; j++ {
+		col := make([]float64, nPatients)
+		for i := 0; i < nPatients; i++ {
+			col[i] = w.y[i][j]
+		}
+		w.ycols[j] = col
 	}
 	return &Workload{
 		Info: Info{
@@ -120,11 +131,11 @@ func (w *disease) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	// evaluation is a custom fused node: partial wrt the stage is the
 	// M-spline derivative, partial wrt each coefficient is the I-spline
 	// basis value.
-	basisVals := make([]float64, w.nBasis)
+	basisVals := t.Scratch(w.nBasis)
+	cjFloat := t.Scratch(w.nBasis)
 	for j := 0; j < w.nMarkers; j++ {
-		mu := make([]ad.Var, w.nPatients)
+		mu := t.ScratchVars(w.nPatients)
 		cj := coefs[j*w.nBasis : (j+1)*w.nBasis]
-		cjFloat := make([]float64, w.nBasis)
 		for k := range cj {
 			cjFloat[k] = cj[k].Value()
 		}
@@ -138,11 +149,7 @@ func (w *disease) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 			}
 			mu[p] = t.EndFused(mark, val)
 		}
-		col := make([]float64, w.nPatients)
-		for p := range col {
-			col[p] = w.y[p][j]
-		}
-		b.Add(dist.NormalLPDFVec(t, col, mu, sigmas[j]))
+		b.Add(dist.NormalLPDFVec(t, w.ycols[j], mu, sigmas[j]))
 	}
 	return b.Result()
 }

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"bayessuite/internal/kernels"
+	"bayessuite/internal/mcmc"
+	"bayessuite/internal/model"
+	"bayessuite/internal/rng"
+)
+
+// kernelWorkloads returns the registry entries whose default model runs
+// through the fused kernel layer.
+func kernelWorkloads(t *testing.T, scale float64, seed uint64) []*Workload {
+	t.Helper()
+	var out []*Workload
+	for _, w := range All(scale, seed) {
+		if w.UsesKernels() {
+			out = append(out, w)
+		}
+	}
+	if len(out) < 4 {
+		t.Fatalf("expected at least 4 kernel-backed workloads, got %d", len(out))
+	}
+	return out
+}
+
+// TestKernelTapeEquivalence is the exhaustive acceptance suite for the
+// kernel rewrite: for every converted workload, the kernel path and the
+// legacy tape path must agree on log density and every gradient
+// coordinate to 1e-8 (relative, per the ISSUE 2 criterion) at random
+// unconstrained points.
+func TestKernelTapeEquivalence(t *testing.T) {
+	for _, w := range kernelWorkloads(t, 0.5, 3) {
+		w := w
+		t.Run(w.Info.Name, func(t *testing.T) {
+			evK := model.NewEvaluator(w.Model)
+			evT := model.NewEvaluator(w.TapeModel())
+			dim := evK.Dim()
+			r := rng.New(17)
+			q := make([]float64, dim)
+			gK := make([]float64, dim)
+			gT := make([]float64, dim)
+			for trial := 0; trial < 5; trial++ {
+				for i := range q {
+					q[i] = 0.6 * r.Norm()
+				}
+				lpK := evK.LogDensityGrad(q, gK)
+				lpT := evT.LogDensityGrad(q, gT)
+				if d := math.Abs(lpK-lpT) / (1 + math.Abs(lpT)); d > 1e-8 {
+					t.Errorf("trial %d: logp kernel %.12g vs tape %.12g (rel %.3g)",
+						trial, lpK, lpT, d)
+				}
+				for i := range gK {
+					if d := math.Abs(gK[i]-gT[i]) / (1 + math.Abs(gT[i])); d > 1e-8 {
+						t.Errorf("trial %d grad[%d]: kernel %.12g vs tape %.12g (rel %.3g)",
+							trial, i, gK[i], gT[i], d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelShrinksTape guards the characterization coupling: the kernel
+// path must record O(dim) tape nodes while the legacy path keeps the
+// node-per-observation structure the hardware model measures. If this
+// fails, either the kernels regressed to taping observations or the
+// legacy path stopped being data-proportional.
+func TestKernelShrinksTape(t *testing.T) {
+	for _, w := range kernelWorkloads(t, 1.0, 3) {
+		evK := model.NewEvaluator(w.Model)
+		evT := model.NewEvaluator(w.TapeModel())
+		dim := evK.Dim()
+		q := make([]float64, dim)
+		g := make([]float64, dim)
+		evK.LogDensityGrad(q, g)
+		evT.LogDensityGrad(q, g)
+		if evK.TapeNodes > 6*dim+64 {
+			t.Errorf("%s: kernel path tape has %d nodes for dim %d — not O(dim)",
+				w.Info.Name, evK.TapeNodes, dim)
+		}
+		if evT.TapeNodes <= evK.TapeNodes {
+			t.Errorf("%s: legacy tape (%d nodes) not larger than kernel tape (%d)",
+				w.Info.Name, evT.TapeNodes, evK.TapeNodes)
+		}
+	}
+}
+
+// TestKernelWorkloadParallelismDeterminism runs the full evaluator (not
+// just the kernel) at several worker counts and requires bitwise equality,
+// then repeats the check end-to-end on a short seeded NUTS run.
+func TestKernelWorkloadParallelismDeterminism(t *testing.T) {
+	defer kernels.SetParallelism(1)
+
+	// tickets at full scale spans 8 shards — the interesting case.
+	w, _ := New("tickets", 1.0, 9)
+	ev := model.NewEvaluator(w.Model)
+	dim := ev.Dim()
+	r := rng.New(23)
+	q := make([]float64, dim)
+	for i := range q {
+		q[i] = 0.4 * r.Norm()
+	}
+	g1 := make([]float64, dim)
+	kernels.SetParallelism(1)
+	lp1 := ev.LogDensityGrad(q, g1)
+	for _, workers := range []int{2, 8} {
+		kernels.SetParallelism(workers)
+		gw := make([]float64, dim)
+		lpw := ev.LogDensityGrad(q, gw)
+		if lpw != lp1 {
+			t.Errorf("workers=%d: logp %.17g != sequential %.17g", workers, lpw, lp1)
+		}
+		for i := range gw {
+			if gw[i] != g1[i] {
+				t.Fatalf("workers=%d: grad[%d] %.17g != %.17g", workers, i, gw[i], g1[i])
+			}
+		}
+	}
+
+	// End-to-end: a seeded sampling run must produce bit-identical draws
+	// at any parallelism level.
+	runDraws := func(workers int) [][][]float64 {
+		kernels.SetParallelism(workers)
+		wl, _ := New("ad", 0.25, 9)
+		res := mcmc.Run(mcmc.Config{
+			Chains:     2,
+			Iterations: 120,
+			Seed:       77,
+		}, func() mcmc.Target { return model.NewEvaluator(wl.Model) })
+		return res.Draws()
+	}
+	seq := runDraws(1)
+	par := runDraws(8)
+	for c := range seq {
+		for i := range seq[c] {
+			for d := range seq[c][i] {
+				if seq[c][i][d] != par[c][i][d] {
+					t.Fatalf("chain %d draw %d dim %d: %.17g (seq) != %.17g (parallel)",
+						c, i, d, seq[c][i][d], par[c][i][d])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelGradAllocsZero is the steady-state allocation guard for the
+// kernel-path gradient evaluation the samplers drive.
+func TestKernelGradAllocsZero(t *testing.T) {
+	for _, w := range kernelWorkloads(t, 0.5, 3) {
+		w := w
+		t.Run(w.Info.Name, func(t *testing.T) {
+			ev := model.NewEvaluator(w.Model)
+			dim := ev.Dim()
+			r := rng.New(5)
+			q := make([]float64, dim)
+			for i := range q {
+				q[i] = 0.3 * r.Norm()
+			}
+			grad := make([]float64, dim)
+			for i := 0; i < 10; i++ {
+				ev.LogDensityGrad(q, grad) // reach arena high-water marks
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				ev.LogDensityGrad(q, grad)
+			}); avg != 0 {
+				t.Errorf("kernel gradient path allocates %.1f per evaluation, want 0", avg)
+			}
+		})
+	}
+}

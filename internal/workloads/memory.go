@@ -4,6 +4,7 @@ import (
 	"bayessuite/internal/ad"
 	"bayessuite/internal/data"
 	"bayessuite/internal/dist"
+	"bayessuite/internal/kernels"
 	"bayessuite/internal/mathx"
 	"bayessuite/internal/model"
 	"bayessuite/internal/rng"
@@ -22,6 +23,11 @@ type memoryRetrieval struct {
 	cond  []float64 // interference condition (+-0.5 coded)
 	acc   []int     // retrieval accuracy
 	logRT []float64 // log latency (ms)
+
+	// Fused-kernel forms of the two likelihood blocks (nil on the legacy
+	// tape path). Both reuse cond directly as their single-column design.
+	bernAcc *kernels.BernoulliLogitGLM
+	normRT  *kernels.NormalIDGLM
 }
 
 // NewMemory builds the memory workload at the given dataset scale.
@@ -61,6 +67,11 @@ func NewMemory(scale float64, seed uint64) *Workload {
 			w.logRT = append(w.logRT, lrt)
 		}
 	}
+	w.bernAcc = kernels.NewBernoulliLogitGLM(w.acc, w.cond, 1, nil, w.subj, nSubj)
+	w.normRT = kernels.NewNormalIDGLM(w.logRT, w.cond, 1, nil, w.subj, nSubj)
+	legacy := *w
+	legacy.bernAcc = nil
+	legacy.normRT = nil
 	return &Workload{
 		Info: Info{
 			Name:          "memory",
@@ -75,7 +86,8 @@ func NewMemory(scale float64, seed uint64) *Workload {
 			BaseIPC:       2.2,
 			Distributions: []string{"normal", "half-cauchy", "bernoulli-logit", "lognormal"},
 		},
-		Model: w,
+		Model:  w,
+		legacy: &legacy,
 	}
 }
 
@@ -121,6 +133,25 @@ func (w *memoryRetrieval) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	b.Add(dist.NormalLPDF(t, bM, ad.Const(0), ad.Const(0.5)))
 	b.Add(dist.NormalLPDFVarData(t, mRaw, ad.Const(0), ad.Const(1)))
 	b.Add(dist.HalfCauchyLPDF(t, sigRT, 0.5))
+
+	if w.bernAcc != nil {
+		// Per-subject effects (non-centered) as kernel group effects.
+		alpha := t.ScratchVars(w.nSubj)
+		lat := t.ScratchVars(w.nSubj)
+		for j := 0; j < w.nSubj; j++ {
+			alpha[j] = t.Add(muA, t.Mul(sigA, aRaw[j]))
+			lat[j] = t.Add(muM, t.Mul(sigM, mRaw[j]))
+		}
+		coefA := t.ScratchVars(1)
+		coefA[0] = bA
+		b.Add(w.bernAcc.LogLik(t, coefA, alpha))
+		coefM := t.ScratchVars(1)
+		coefM[0] = bM
+		// log RT ~ Normal(mu, sigma) (lognormal on RT; the Jacobian of
+		// the log is a data constant and drops out).
+		b.Add(w.normRT.LogLik(t, coefM, lat, sigRT))
+		return b.Result()
+	}
 
 	// Per-subject effects (non-centered).
 	alpha := make([]ad.Var, w.nSubj)

@@ -66,10 +66,34 @@ func (i Info) TapeFactor() float64 {
 }
 
 // Workload is a runnable BayesSuite benchmark.
+//
+// Model is the default (fastest) implementation; for the GLM-shaped
+// workloads it evaluates the likelihood through the fused analytic
+// kernels in internal/kernels. legacy, when non-nil, is the same model
+// with the original node-per-observation tape likelihood.
 type Workload struct {
 	Info  Info
 	Model model.Model
+
+	legacy model.Model
 }
+
+// TapeModel returns the legacy node-per-observation tape implementation
+// of the workload. The characterization harness measures this path: its
+// tape growth is the working-set proxy the paper's LLC analysis is built
+// on (§V-A), so hardware simulation must keep seeing Stan-shaped tapes
+// even after the sampling path moved to fused kernels. For workloads
+// without a kernel rewrite this is Model itself.
+func (w *Workload) TapeModel() model.Model {
+	if w.legacy != nil {
+		return w.legacy
+	}
+	return w.Model
+}
+
+// UsesKernels reports whether Model evaluates its likelihood through the
+// fused kernel layer (and therefore differs from TapeModel).
+func (w *Workload) UsesKernels() bool { return w.legacy != nil }
 
 // ModeledDataBytes returns the workload's modeled data size — the static
 // LLC predictor feature (§V-A).

@@ -6,6 +6,7 @@ import (
 	"bayessuite/internal/ad"
 	"bayessuite/internal/data"
 	"bayessuite/internal/dist"
+	"bayessuite/internal/kernels"
 	"bayessuite/internal/model"
 	"bayessuite/internal/rng"
 )
@@ -24,6 +25,8 @@ type twelveCities struct {
 	logPop  []float64 // log population exposure offset
 	yearC   []float64 // centered year
 	lowered []float64 // 1 after the city lowered its speed limit
+
+	pois *kernels.PoissonLogGLM // nil on the legacy tape path
 
 	truth struct{ beta float64 }
 }
@@ -75,6 +78,16 @@ func NewTwelveCities(scale float64, seed uint64) *Workload {
 		}
 	}
 	w.truth.beta = beta
+	// Fused-kernel form of the likelihood: a poisson-log GLM with
+	// coefficient columns [yearC, lowered], the log-population exposure as
+	// offset, and the city intercepts as group effects.
+	xk := make([]float64, 0, 2*len(w.deaths))
+	for i := range w.deaths {
+		xk = append(xk, w.yearC[i], w.lowered[i])
+	}
+	w.pois = kernels.NewPoissonLogGLM(w.deaths, xk, 2, w.logPop, w.city, nCities)
+	legacy := *w
+	legacy.pois = nil
 	return &Workload{
 		Info: Info{
 			Name:          "12cities",
@@ -89,7 +102,8 @@ func NewTwelveCities(scale float64, seed uint64) *Workload {
 			BaseIPC:       2.5,
 			Distributions: []string{"normal", "half-cauchy", "poisson-log"},
 		},
-		Model: w,
+		Model:  w,
+		legacy: &legacy,
 	}
 }
 
@@ -117,6 +131,19 @@ func (w *twelveCities) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	b.Add(dist.NormalLPDFVarData(t, alphaRaw, ad.Const(0), ad.Const(1)))
 	b.Add(dist.NormalLPDF(t, trend, ad.Const(0), ad.Const(0.1)))
 	b.Add(dist.NormalLPDF(t, beta, ad.Const(0), ad.Const(1)))
+
+	if w.pois != nil {
+		// Non-centered city intercepts as kernel group effects.
+		alpha := t.ScratchVars(w.nCities)
+		for c := range alpha {
+			alpha[c] = t.Add(muAlpha, t.Mul(sigAlpha, alphaRaw[c]))
+		}
+		coef := t.ScratchVars(2)
+		coef[0] = trend
+		coef[1] = beta
+		b.Add(w.pois.LogLik(t, coef, alpha))
+		return b.Result()
+	}
 
 	// Non-centered city intercepts: alpha_c = mu + sigma * raw_c.
 	alpha := make([]ad.Var, w.nCities)
