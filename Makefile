@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build fmt-check vet test race bench bench-runner bench-json
+.PHONY: ci build fmt-check vet test race serve-smoke bench bench-runner bench-json
 
 ci: fmt-check vet test race
 
@@ -29,10 +29,17 @@ test:
 	$(GO) test -timeout 900s ./...
 
 # Race pass over the packages that run goroutines against shared state:
-# the lockstep worker pool, the free-running parallel chains, and the
-# streaming R-hat detector invoked from the coordinator.
+# the lockstep worker pool, the free-running parallel chains, the
+# streaming R-hat detector invoked from the coordinator, and the bayesd
+# serving layer (admission queue, worker pool, cancellation).
 race:
-	$(GO) test -race ./internal/mcmc/... ./internal/elide/...
+	$(GO) test -race ./internal/mcmc/... ./internal/elide/... ./internal/serve/...
+
+# End-to-end smoke test of the serving daemon: boots bayesd on a random
+# port, submits a small seeded job over HTTP, polls it to completion, and
+# asserts that convergence elision fired and savings were accounted.
+serve-smoke:
+	$(GO) run ./cmd/bayesd -smoke
 
 # Runner hot-path benchmarks with allocation accounting.
 bench-runner:

@@ -1,0 +1,179 @@
+// Command bayesd is the BayesSuite inference daemon: a long-lived HTTP
+// service that admits inference jobs through a bounded queue, places each
+// on a simulated platform with the LLC-aware scheduler (§V), samples with
+// runtime convergence elision (§VI), and reports live progress, R̂
+// trajectories, posterior summaries, and aggregate savings.
+//
+// Usage:
+//
+//	bayesd [-addr 127.0.0.1:8080] [-queue 64] [-workers 2]
+//	       [-timeout 0] [-seed 7]
+//	bayesd -smoke      # boot on a random port, run one job end-to-end
+//
+// On SIGINT/SIGTERM the daemon drains: admission stops (503), queued
+// jobs are canceled, running jobs complete.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bayessuite/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	queueCap := flag.Int("queue", 64, "admission queue capacity")
+	workers := flag.Int("workers", 2, "concurrent job runners")
+	timeout := flag.Duration("timeout", 0, "default per-job timeout (0: none)")
+	seed := flag.Uint64("seed", 7, "seed for the calibration datasets")
+	smoke := flag.Bool("smoke", false, "self-test: boot on a random port, run a small job to completion, assert elision fired")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bayesd: SMOKE FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bayesd: SMOKE PASS")
+		return
+	}
+	if err := run(*addr, *queueCap, *workers, *timeout, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "bayesd:", err)
+		os.Exit(1)
+	}
+}
+
+// boot calibrates the placement predictor and starts the server and its
+// HTTP listener, returning the server and the bound address.
+func boot(addr string, queueCap, workers int, timeout time.Duration, seed uint64) (*serve.Server, net.Listener, error) {
+	pts, err := serve.SuiteCalibration(seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("calibrating predictor: %w", err)
+	}
+	srv := serve.NewServer(serve.Config{
+		QueueCap:          queueCap,
+		Workers:           workers,
+		DefaultTimeout:    timeout,
+		CalibrationPoints: pts,
+	})
+	if fallback, note := srv.FrequencyFirst(); fallback {
+		fmt.Printf("bayesd: placement: frequency-first fallback (%s)\n", note)
+	} else {
+		fmt.Printf("bayesd: placement: %s\n", note)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, ln, nil
+}
+
+func run(addr string, queueCap, workers int, timeout time.Duration, seed uint64) error {
+	srv, ln, err := boot(addr, queueCap, workers, timeout, seed)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("bayesd: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("bayesd: %v: draining (running jobs complete, queued jobs cancel)\n", sig)
+	}
+
+	// Drain the job queue first so in-flight work lands, then close the
+	// HTTP side.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bayesd: drain:", err)
+	}
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("bayesd: drained, bye")
+	return nil
+}
+
+// runSmoke is the `make serve-smoke` body: boot on a random port, submit
+// a small 12cities job over real HTTP, poll it to completion, and assert
+// that convergence elision fired and summaries came back.
+func runSmoke(seed uint64) error {
+	srv, ln, err := boot("127.0.0.1:0", 8, 2, 0, seed)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	fmt.Printf("bayesd: smoke server on %s\n", base)
+	client := serve.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	st, err := client.Submit(ctx, serve.JobSpec{
+		Workload: "12cities", Scale: 0.25, Seed: 7, Iterations: 2000,
+	})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Printf("bayesd: submitted %s (%s, budget %d)\n", st.ID, st.Spec.Workload, st.Budget)
+
+	final, err := client.Wait(ctx, st.ID, 100*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if final.State != serve.Done {
+		return fmt.Errorf("job ended %s (%s), want done", final.State, final.Error)
+	}
+	if final.Placement == nil {
+		return errors.New("no placement decision recorded")
+	}
+	fmt.Printf("bayesd: placed on %s — %s\n", final.Placement.Platform, final.Placement.Reason)
+	if !final.Elided {
+		return fmt.Errorf("elision did not fire (progress %d/%d)", final.Progress, final.Budget)
+	}
+	fmt.Printf("bayesd: elision fired at %d/%d iterations (saved %d iterations, %.1f simulated J)\n",
+		final.Progress, final.Budget, final.SavedIterations, final.SavedJoules)
+
+	res, err := client.Result(ctx, st.ID)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	if len(res.Summaries) == 0 {
+		return errors.New("no posterior summaries")
+	}
+	if len(final.RHatTrace) == 0 {
+		return errors.New("no R-hat trajectory reported")
+	}
+	fmt.Printf("bayesd: max R-hat %.3f over %d params; %d convergence checks\n",
+		res.MaxRHat, len(res.Summaries), len(final.RHatTrace))
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	fmt.Printf("bayesd: stats: %d done, saved %d iterations / %.1f J\n",
+		stats.Done, stats.SavedIterations, stats.SavedJoules)
+	return srv.Shutdown(ctx)
+}

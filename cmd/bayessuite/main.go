@@ -53,16 +53,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bayessuite:", err)
 		os.Exit(2)
 	}
-	var kind mcmc.SamplerKind
-	switch *samplerName {
-	case "nuts":
-		kind = mcmc.NUTS
-	case "hmc":
-		kind = mcmc.HMC
-	case "mh":
-		kind = mcmc.MetropolisHastings
-	default:
-		fmt.Fprintln(os.Stderr, "bayessuite: unknown sampler", *samplerName)
+	kind, err := mcmc.ParseSampler(*samplerName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bayessuite:", err)
 		os.Exit(2)
 	}
 	n := *iters

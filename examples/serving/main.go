@@ -1,0 +1,133 @@
+// Serving walkthrough: boot the bayesd serving layer in-process, drive it
+// over real HTTP with the in-process client, and watch the paper's two
+// runtime mechanisms make per-job decisions:
+//
+//   - placement (§V): each submitted job's modeled data size runs through
+//     the static LLC predictor, which routes LLC-bound jobs to the
+//     large-LLC Broadwell server and the rest to the high-frequency
+//     Skylake desktop;
+//   - elision (§VI): each job samples under runtime convergence
+//     detection, reports its live R̂ trajectory, and stops as soon as
+//     R̂ < 1.1, banking the unexecuted iterations as savings.
+//
+// Run: go run ./examples/serving
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"bayessuite/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serving example:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Calibrate the placement predictor the way the paper builds
+	// Fig. 3: the whole suite at three dataset scales through the cache
+	// simulator.
+	fmt.Println("calibrating LLC predictor on the BayesSuite cache simulations...")
+	pts, err := serve.SuiteCalibration(7)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(serve.Config{
+		QueueCap:          16,
+		Workers:           2,
+		CalibrationPoints: pts,
+	})
+	if _, note := srv.FrequencyFirst(); true {
+		fmt.Printf("predictor: %s\n\n", note)
+	}
+
+	// 2. Serve the HTTP API on a random local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	fmt.Printf("bayesd serving on %s\n\n", base)
+
+	client := serve.NewClient(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// 3. Submit two jobs from opposite ends of the working-set spectrum:
+	// tickets (the suite's most LLC-hungry model) and 12cities (small).
+	specs := []serve.JobSpec{
+		{Workload: "tickets", Scale: 0.5, Iterations: 400, Seed: 7},
+		{Workload: "12cities", Scale: 0.25, Iterations: 2000, Seed: 7},
+	}
+	var ids []string
+	for _, spec := range specs {
+		st, err := client.Submit(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", spec.Workload, err)
+		}
+		fmt.Printf("submitted %-10s as %s (budget %d iterations × %d chains)\n",
+			spec.Workload, st.ID, st.Budget, st.Spec.Chains)
+		ids = append(ids, st.ID)
+	}
+	fmt.Println()
+
+	// 4. Poll both to completion, printing placement and the R̂ tail.
+	for _, id := range ids {
+		final, err := client.Wait(ctx, id, 100*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("wait %s: %w", id, err)
+		}
+		fmt.Printf("%s: %s (%s)\n", id, final.State, final.Spec.Workload)
+		if p := final.Placement; p != nil {
+			fmt.Printf("  placed on %-9s — %s\n", p.Platform, p.Reason)
+		}
+		if n := len(final.RHatTrace); n > 0 {
+			cp := final.RHatTrace[n-1]
+			fmt.Printf("  last convergence check: R̂ = %.3f at iteration %d (%d checks)\n",
+				cp.RHat, cp.Iteration, n)
+		}
+		if final.Elided {
+			fmt.Printf("  elided: stopped at %d/%d iterations, saving %d iterations ≈ %.1f simulated J\n",
+				final.Progress, final.Budget, final.SavedIterations, final.SavedJoules)
+		} else {
+			fmt.Printf("  ran the full %d-iteration budget\n", final.Budget)
+		}
+		res, err := client.Result(ctx, id)
+		if err != nil {
+			return fmt.Errorf("result %s: %w", id, err)
+		}
+		limit := len(res.Summaries)
+		if limit > 4 {
+			limit = 4
+		}
+		fmt.Printf("  posterior (first %d of %d params): ", limit, len(res.Summaries))
+		for _, s := range res.Summaries[:limit] {
+			name := s.Name
+			if name == "" {
+				name = "q"
+			}
+			fmt.Printf("%s=%.3f±%.3f  ", name, s.Mean, s.SD)
+		}
+		fmt.Println()
+	}
+
+	// 5. Service-level accounting.
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstats: %d done, queue %d/%d; elision saved %d iterations ≈ %.1f simulated J total\n",
+		stats.Done, stats.QueueDepth, stats.QueueCap, stats.SavedIterations, stats.SavedJoules)
+	return srv.Shutdown(ctx)
+}

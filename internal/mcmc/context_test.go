@@ -1,0 +1,189 @@
+package mcmc
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// slowGaussian is a standard normal target that can stall inside Step's
+// gradient evaluations, letting cancellation tests hold a run mid-flight
+// deterministically.
+type slowGaussian struct {
+	dim   int
+	delay time.Duration
+}
+
+func (g *slowGaussian) Dim() int { return g.dim }
+func (g *slowGaussian) LogDensity(q []float64) float64 {
+	lp := 0.0
+	for _, v := range q {
+		lp -= 0.5 * v * v
+	}
+	return lp
+}
+func (g *slowGaussian) LogDensityGrad(q, grad []float64) float64 {
+	if g.delay > 0 {
+		time.Sleep(g.delay)
+	}
+	for i, v := range q {
+		grad[i] = -v
+	}
+	return g.LogDensity(q)
+}
+
+// neverStop is a StopRule that never fires, forcing the lockstep path to
+// its full budget unless canceled.
+type neverStop struct{}
+
+func (neverStop) ShouldStop([]*Samples, int) bool { return false }
+
+func cancellationConfig(sampler SamplerKind, parallel bool) Config {
+	return Config{
+		Chains:     2,
+		Iterations: 4000,
+		Sampler:    sampler,
+		Seed:       11,
+		Parallel:   parallel,
+	}
+}
+
+// expectInterrupted asserts the partial-result contract: the run reports
+// the interruption, retains an aligned prefix of draws, and every chain
+// holds at least that many draws.
+func expectInterrupted(t *testing.T, res *Result, budget int) {
+	t.Helper()
+	if !res.Interrupted {
+		t.Fatalf("Interrupted = false, want true")
+	}
+	if res.Elided {
+		t.Fatalf("Elided = true on a canceled run")
+	}
+	if res.Iterations >= budget {
+		t.Fatalf("Iterations = %d, want < %d", res.Iterations, budget)
+	}
+	for c, ch := range res.Chains {
+		if ch.Samples.Len() < res.Iterations {
+			t.Fatalf("chain %d holds %d draws, want >= aligned %d", c, ch.Samples.Len(), res.Iterations)
+		}
+		if got := len(ch.LogDensity); got != ch.Samples.Len() {
+			t.Fatalf("chain %d: %d log densities for %d draws", c, got, ch.Samples.Len())
+		}
+	}
+	// The aligned second-half window must stay rectangular for
+	// diagnostics even if chains stopped at different iterations.
+	sh := res.SecondHalfDraws()
+	for c := 1; c < len(sh); c++ {
+		if len(sh[c]) != len(sh[0]) {
+			t.Fatalf("ragged second-half draws: chain %d has %d, chain 0 has %d", c, len(sh[c]), len(sh[0]))
+		}
+	}
+}
+
+func TestRunContextCancelFree(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := cancellationConfig(HMC, true)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res := RunContext(ctx, cfg, func() Target { return &slowGaussian{dim: 4, delay: 20 * time.Microsecond} })
+	expectInterrupted(t, res, cfg.Iterations)
+}
+
+func TestRunContextCancelLockstep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := cancellationConfig(NUTS, true)
+	cfg.StopRule = neverStop{}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res := RunContext(ctx, cfg, func() Target { return &slowGaussian{dim: 4, delay: 20 * time.Microsecond} })
+	expectInterrupted(t, res, cfg.Iterations)
+	// Lockstep cancellation is checked between rounds, so the aligned
+	// count is exact: every chain holds exactly Iterations draws.
+	for c, ch := range res.Chains {
+		if ch.Samples.Len() != res.Iterations {
+			t.Fatalf("lockstep chain %d: %d draws, want exactly %d", c, ch.Samples.Len(), res.Iterations)
+		}
+	}
+}
+
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := cancellationConfig(MetropolisHastings, false)
+	res := RunContext(ctx, cfg, func() Target { return &slowGaussian{dim: 2} })
+	if !res.Interrupted {
+		t.Fatalf("pre-canceled run not marked interrupted")
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("pre-canceled run executed %d iterations, want 0", res.Iterations)
+	}
+}
+
+// TestProgressCallback: Progress fires monotonically up to the executed
+// count, and routing a rule-free run through the lockstep path (which a
+// Progress callback forces) leaves results bit-identical to the free path.
+func TestProgressCallback(t *testing.T) {
+	cfg := Config{Chains: 2, Iterations: 200, Sampler: HMC, Seed: 3}
+	free := Run(cfg, func() Target { return &slowGaussian{dim: 3} })
+
+	var seen []int
+	cfgP := cfg
+	cfgP.Progress = func(done int) { seen = append(seen, done) }
+	prog := Run(cfgP, func() Target { return &slowGaussian{dim: 3} })
+
+	if len(seen) != cfg.Iterations {
+		t.Fatalf("progress fired %d times, want %d", len(seen), cfg.Iterations)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress[%d] = %d, want %d", i, d, i+1)
+		}
+	}
+	if prog.Interrupted || prog.Elided {
+		t.Fatalf("progress-routed run flagged interrupted=%v elided=%v", prog.Interrupted, prog.Elided)
+	}
+	for c := range free.Chains {
+		fs, ps := free.Chains[c].Samples, prog.Chains[c].Samples
+		if fs.Len() != ps.Len() {
+			t.Fatalf("chain %d: free %d draws vs progress-routed %d", c, fs.Len(), ps.Len())
+		}
+		for i := 0; i < fs.Len(); i++ {
+			for d := 0; d < fs.Dim(); d++ {
+				if fs.At(i, d) != ps.At(i, d) {
+					t.Fatalf("chain %d draw %d dim %d: free %v vs progress-routed %v",
+						c, i, d, fs.At(i, d), ps.At(i, d))
+				}
+			}
+		}
+	}
+}
+
+// TestRunContextUncanceled: a context that never fires leaves the result
+// indistinguishable from Run.
+func TestRunContextUncanceled(t *testing.T) {
+	cfg := Config{Chains: 2, Iterations: 100, Sampler: MetropolisHastings, Seed: 5}
+	plain := Run(cfg, func() Target { return &slowGaussian{dim: 2} })
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	ctxed := RunContext(ctx, cfg, func() Target { return &slowGaussian{dim: 2} })
+	if ctxed.Interrupted {
+		t.Fatalf("uncanceled run marked interrupted")
+	}
+	if plain.Iterations != ctxed.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", plain.Iterations, ctxed.Iterations)
+	}
+	for c := range plain.Chains {
+		a, b := plain.Chains[c].Samples, ctxed.Chains[c].Samples
+		for i := 0; i < a.Len(); i++ {
+			for d := 0; d < a.Dim(); d++ {
+				if a.At(i, d) != b.At(i, d) {
+					t.Fatalf("chain %d draw %d differs under a passive context", c, i)
+				}
+			}
+		}
+	}
+}

@@ -35,6 +35,20 @@ const (
 	MetropolisHastings
 )
 
+// ParseSampler returns the SamplerKind named by s: "nuts", "hmc", or
+// "mh" (the String forms).
+func ParseSampler(s string) (SamplerKind, error) {
+	switch s {
+	case "nuts":
+		return NUTS, nil
+	case "hmc":
+		return HMC, nil
+	case "mh":
+		return MetropolisHastings, nil
+	}
+	return 0, fmt.Errorf("mcmc: unknown sampler %q (want nuts, hmc, or mh)", s)
+}
+
 // String returns the sampler name.
 func (k SamplerKind) String() string {
 	switch k {
@@ -88,6 +102,13 @@ type Config struct {
 	// CheckInterval is how often (in iterations) StopRule runs
 	// (default 50).
 	CheckInterval int
+	// Progress, when non-nil, is called from the coordination loop after
+	// every iteration all chains have completed, with the completed
+	// iteration count. Setting it routes the run through the lockstep
+	// path even without a StopRule (results are identical — see the
+	// free-vs-lockstep determinism tests). It is called from a single
+	// goroutine and must be cheap: it sits on the sampling critical path.
+	Progress func(completed int)
 	// MinIterations is the floor before StopRule may fire (default 100).
 	MinIterations int
 	// DisableMassAdaptation keeps the unit diagonal metric throughout
@@ -186,6 +207,11 @@ type Result struct {
 	Iterations int
 	// Elided reports whether the StopRule terminated the run early.
 	Elided bool
+	// Interrupted reports that the run's context was canceled (or timed
+	// out) before the budget was exhausted and before any StopRule fired.
+	// The draws completed up to that point are retained — Iterations is
+	// the aligned prefix every chain reached — rather than discarded.
+	Interrupted bool
 	// Config echoes the effective configuration.
 	Config Config
 }
@@ -202,11 +228,17 @@ func (r *Result) Draws() [][][]float64 {
 }
 
 // SecondHalfDraws returns, flattened per chain, the second half of each
-// chain's draws — the portion the paper uses for inference (§VI-A).
+// chain's draws — the portion the paper uses for inference (§VI-A). The
+// window is the aligned prefix [Iterations/2, Iterations), so the shape
+// stays rectangular even when a free-path cancellation left chains with
+// unequal draw counts.
 func (r *Result) SecondHalfDraws() [][][]float64 {
 	out := make([][][]float64, len(r.Chains))
 	for i, c := range r.Chains {
-		n := c.Samples.Len()
+		n := r.Iterations
+		if cn := c.Samples.Len(); cn < n {
+			n = cn
+		}
 		out[i] = c.Samples.RowsRange(n/2, n)
 	}
 	return out
@@ -227,7 +259,10 @@ func (r *Result) Columns() [][][]float64 {
 func (r *Result) SecondHalfColumns() [][][]float64 {
 	out := make([][][]float64, len(r.Chains))
 	for i, c := range r.Chains {
-		n := c.Samples.Len()
+		n := r.Iterations
+		if cn := c.Samples.Len(); cn < n {
+			n = cn
+		}
 		cols := make([][]float64, c.Samples.Dim())
 		for d := range cols {
 			cols[d] = c.Samples.ColRange(d, n/2, n)

@@ -1,7 +1,9 @@
 package mcmc
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"bayessuite/internal/rng"
 )
@@ -10,16 +12,26 @@ import (
 // state, so each chain needs its own instance.
 type TargetFactory func() Target
 
-// Run executes a multi-chain MCMC run with the given configuration.
-//
-// Without a StopRule, chains are independent and (optionally) run in
-// parallel — the paper's coarse-grained chain-level parallelism. With a
-// StopRule, chains advance in lockstep rounds and the rule is consulted
-// every CheckInterval iterations — the paper's runtime convergence
-// detection (computation elision, §VI). Lockstep rounds are coordinated by
-// persistent per-chain worker goroutines: the round costs two
-// synchronizations, not N goroutine launches.
+// Run executes a multi-chain MCMC run with the given configuration. It is
+// RunContext with a background (never-canceled) context.
 func Run(cfg Config, factory TargetFactory) *Result {
+	return RunContext(context.Background(), cfg, factory)
+}
+
+// RunContext executes a multi-chain MCMC run under ctx.
+//
+// Without a StopRule or Progress callback, chains are independent and
+// (optionally) run in parallel — the paper's coarse-grained chain-level
+// parallelism. With either, chains advance in lockstep rounds: the rule is
+// consulted every CheckInterval iterations (the paper's runtime
+// convergence detection, §VI) and Progress fires every round. Lockstep
+// rounds are coordinated by persistent per-chain worker goroutines: the
+// round costs two synchronizations, not N goroutine launches.
+//
+// Cancellation is checked between iterations — never mid-leapfrog — so a
+// canceled run returns promptly with every completed draw retained and
+// Result.Interrupted set, rather than discarding the work done so far.
+func RunContext(ctx context.Context, cfg Config, factory TargetFactory) *Result {
 	cfg = cfg.withDefaults()
 	warmup := int(float64(cfg.Iterations) * cfg.WarmupFrac)
 
@@ -41,12 +53,34 @@ func Run(cfg Config, factory TargetFactory) *Result {
 		}
 	}
 
-	if cfg.StopRule == nil {
-		runFree(cfg, steppers, chains)
-		return finish(cfg, chains, cfg.Iterations, false)
+	// Cancellation is surfaced to the hot loops as a single atomic flag:
+	// one watcher goroutine waits on ctx.Done, and chains poll the flag
+	// between iterations (an atomic load, not a mutex-guarded ctx.Err).
+	var stop atomic.Bool
+	if ctx.Err() != nil {
+		stop.Store(true)
+	} else if done := ctx.Done(); done != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				stop.Store(true)
+			case <-finished:
+			}
+		}()
 	}
-	iters, elided := runLockstep(cfg, steppers, chains)
-	return finish(cfg, chains, iters, elided)
+
+	if cfg.StopRule == nil && cfg.Progress == nil {
+		iters, interrupted := runFree(cfg, steppers, chains, &stop)
+		res := finish(cfg, chains, iters, false)
+		res.Interrupted = interrupted
+		return res
+	}
+	iters, elided, interrupted := runLockstep(cfg, steppers, chains, &stop)
+	res := finish(cfg, chains, iters, elided)
+	res.Interrupted = interrupted
+	return res
 }
 
 // initPoint draws a uniform(-r, r) starting point, retrying until the
@@ -75,14 +109,19 @@ func isNegInf(x float64) bool { return x < -1e300 }
 func isNaN(x float64) bool    { return x != x }
 
 // runFree runs every chain to its full iteration budget, in parallel when
-// configured. The mean acceptance statistic is accumulated over all
-// executed iterations, exactly as the lockstep path does.
-func runFree(cfg Config, steppers []stepper, chains []*ChainResult) {
+// configured, stopping early if the cancel flag trips. Returns the aligned
+// iteration count (the smallest any chain completed; chains canceled at
+// different points keep their extra draws) and whether the run was cut
+// short. The mean acceptance statistic is accumulated over all executed
+// iterations, exactly as the lockstep path does.
+func runFree(cfg Config, steppers []stepper, chains []*ChainResult, stop *atomic.Bool) (int, bool) {
+	executed := make([]int, len(steppers))
 	runChain := func(c int) {
 		st := steppers[c]
 		res := chains[c]
 		var acceptSum float64
-		for i := 0; i < cfg.Iterations; i++ {
+		n := 0
+		for i := 0; i < cfg.Iterations && !stop.Load(); i++ {
 			lp, work := st.Step()
 			res.Samples.Append(st.Current())
 			res.LogDensity = append(res.LogDensity, lp)
@@ -91,10 +130,14 @@ func runFree(cfg Config, steppers []stepper, chains []*ChainResult) {
 			if st.Divergent() {
 				res.Divergences++
 			}
+			n++
 		}
 		st.EndWarmup()
 		res.StepSize = st.StepSize()
-		res.AcceptRate = acceptSum / float64(cfg.Iterations)
+		if n > 0 {
+			res.AcceptRate = acceptSum / float64(n)
+		}
+		executed[c] = n
 	}
 	if cfg.Parallel {
 		var wg sync.WaitGroup
@@ -111,6 +154,13 @@ func runFree(cfg Config, steppers []stepper, chains []*ChainResult) {
 			runChain(c)
 		}
 	}
+	iters := cfg.Iterations
+	for _, n := range executed {
+		if n < iters {
+			iters = n
+		}
+	}
+	return iters, iters < cfg.Iterations
 }
 
 // workerPool runs one persistent goroutine per chain and coordinates
@@ -160,12 +210,13 @@ func (p *workerPool) close() {
 	p.exit.Wait()
 }
 
-// runLockstep advances all chains one iteration per round and consults the
-// stop rule periodically. With cfg.Parallel the chains within a round run
-// on persistent worker goroutines (they are independent, so results are
-// identical to sequential execution). Returns executed iterations and
-// whether the run was elided.
-func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult) (int, bool) {
+// runLockstep advances all chains one iteration per round, consults the
+// stop rule periodically, reports progress every round, and checks the
+// cancel flag between rounds. With cfg.Parallel the chains within a round
+// run on persistent worker goroutines (they are independent, so results
+// are identical to sequential execution). Returns executed iterations,
+// whether the run was elided, and whether it was interrupted.
+func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult, stop *atomic.Bool) (int, bool, bool) {
 	views := make([]*Samples, len(chains))
 	for c := range chains {
 		views[c] = chains[c].Samples
@@ -194,11 +245,17 @@ func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult) (int, bo
 		for c, st := range steppers {
 			st.EndWarmup()
 			chains[c].StepSize = st.StepSize()
-			chains[c].AcceptRate = acceptSums[c] / float64(done)
+			if done > 0 {
+				chains[c].AcceptRate = acceptSums[c] / float64(done)
+			}
 		}
 	}
 
 	for it := 0; it < cfg.Iterations; it++ {
+		if stop.Load() {
+			finalize(it)
+			return it, false, true
+		}
 		if pool != nil {
 			pool.step()
 		} else {
@@ -207,15 +264,18 @@ func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult) (int, bo
 			}
 		}
 		done := it + 1
-		if done >= cfg.MinIterations && done%cfg.CheckInterval == 0 {
+		if cfg.Progress != nil {
+			cfg.Progress(done)
+		}
+		if cfg.StopRule != nil && done >= cfg.MinIterations && done%cfg.CheckInterval == 0 {
 			if cfg.StopRule.ShouldStop(views, done) {
 				finalize(done)
-				return done, true
+				return done, true, false
 			}
 		}
 	}
 	finalize(cfg.Iterations)
-	return cfg.Iterations, false
+	return cfg.Iterations, false, false
 }
 
 // finish assembles the Result.

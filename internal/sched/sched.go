@@ -6,12 +6,22 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"bayessuite/internal/hw"
 )
+
+// ErrNoLinearRegime reports that the calibration set has no usable linear
+// regime: fewer than two points sit at or above FitFloor, so a
+// least-squares line through the "LLC-bound" population would be
+// degenerate or nonexistent. Callers should fall back to frequency-first
+// placement (every job on the high-frequency platform) instead of
+// trusting a predictor fitted to noise — below the floor the paper finds
+// the size/MPKI correlation too weak to schedule on (§V-A).
+var ErrNoLinearRegime = errors.New("sched: no linear regime in calibration set")
 
 // Point is one observation used to fit the predictor: a job's modeled
 // data size and its measured (simulated) 4-core LLC MPKI.
@@ -58,7 +68,8 @@ func Fit(points []Point) (*Predictor, error) {
 		}
 	}
 	if len(xs) < 2 {
-		return nil, fmt.Errorf("sched: need at least 2 LLC-bound calibration points, have %d", len(xs))
+		return nil, fmt.Errorf("%w: need at least 2 points with MPKI >= %.1f, have %d",
+			ErrNoLinearRegime, p.FitFloor, len(xs))
 	}
 	var sx, sy, sxx, sxy float64
 	n := float64(len(xs))
@@ -70,7 +81,7 @@ func Fit(points []Point) (*Predictor, error) {
 	}
 	den := n*sxx - sx*sx
 	if den == 0 {
-		return nil, fmt.Errorf("sched: degenerate calibration set")
+		return nil, fmt.Errorf("%w: all LLC-bound points share one modeled data size", ErrNoLinearRegime)
 	}
 	p.Slope = (n*sxy - sx*sy) / den
 	p.Intercept = (sy - p.Slope*sx) / n

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -73,6 +74,32 @@ func TestFitErrors(t *testing.T) {
 	}
 	if _, err := Fit([]Point{{"a", 10, 5}, {"b", 10, 6}}); err == nil {
 		t.Error("expected degenerate-fit error")
+	}
+}
+
+// TestFitNoLinearRegime: a calibration set where every point sits below
+// FitFloor has no linear regime to fit; Fit must say so explicitly (so
+// callers can fall back to frequency-first placement) rather than hand
+// back a line fitted through sub-floor noise.
+func TestFitNoLinearRegime(t *testing.T) {
+	allBelow := []Point{
+		{"a", 5, 0.1}, {"b", 12, 0.3}, {"c", 40, 0.8}, {"d", 90, 0.95},
+	}
+	p, err := Fit(allBelow)
+	if err == nil {
+		t.Fatalf("Fit of all-sub-floor points succeeded: %+v", p)
+	}
+	if !errors.Is(err, ErrNoLinearRegime) {
+		t.Errorf("error %v, want errors.Is(_, ErrNoLinearRegime)", err)
+	}
+	// One bound point is still not a regime.
+	if _, err := Fit(append(allBelow, Point{"e", 500, 9})); !errors.Is(err, ErrNoLinearRegime) {
+		t.Errorf("single bound point: error %v, want ErrNoLinearRegime", err)
+	}
+	// A vertical stack of bound points is degenerate for the same reason
+	// and reports the same sentinel.
+	if _, err := Fit([]Point{{"a", 10, 5}, {"b", 10, 6}}); !errors.Is(err, ErrNoLinearRegime) {
+		t.Errorf("degenerate stack: error %v, want ErrNoLinearRegime", err)
 	}
 }
 

@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"bayessuite/internal/hw"
+	"bayessuite/internal/perf"
+	"bayessuite/internal/sched"
+	"bayessuite/internal/workloads"
+)
+
+// SuiteCalibration builds the predictor's calibration set the way the
+// paper does (Fig. 3): every BayesSuite workload at three dataset scales,
+// each point pairing the modeled data size with the simulated 4-core LLC
+// MPKI on the small-LLC platform. bayesd runs this once at startup; tests
+// inject synthetic points instead.
+func SuiteCalibration(seed uint64) ([]sched.Point, error) {
+	var pts []sched.Point
+	for _, name := range workloads.Names() {
+		for _, frac := range []float64{1, 0.5, 0.25} {
+			w, err := workloads.New(name, frac, seed)
+			if err != nil {
+				return nil, err
+			}
+			p := perf.Static(w)
+			pts = append(pts, sched.Point{
+				Name:          name,
+				ModeledDataKB: float64(w.ModeledDataBytes()) / 1024,
+				LLCMPKI4Core:  hw.SimulateLLC(p, hw.Skylake, 4),
+			})
+		}
+	}
+	return pts, nil
+}

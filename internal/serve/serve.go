@@ -1,0 +1,298 @@
+// Package serve is the serving layer: a long-lived job-queue inference
+// service that puts the paper's two runtime mechanisms — LLC-aware
+// platform placement (§V) and R̂-based computation elision (§VI) — behind
+// a production-style API. Jobs name a BayesSuite workload from the
+// registry; the server admits them through a bounded queue (backpressure
+// when full), places each on a simulated platform via the static LLC
+// predictor, runs the multi-chain sampler with per-job convergence
+// detection, and exposes live progress, the R̂ trajectory, the placement
+// decision with its rationale, posterior summaries, cancellation, and
+// aggregate elision savings.
+//
+// Determinism contract: a job is fully described by its spec. Two jobs
+// with identical specs return bit-identical draws and summaries, no
+// matter how they interleave with other jobs in the queue or which worker
+// runs them — sampling state is per-job (the RNG streams derive from the
+// spec seed alone), so concurrency affects only latency, never results.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"bayessuite/internal/mcmc"
+)
+
+// JobState is a job's lifecycle state. Transitions:
+//
+//	queued → running → done | failed | canceled
+//	queued → canceled                      (cancel or drain before start)
+type JobState string
+
+const (
+	// Queued: admitted, waiting for a worker.
+	Queued JobState = "queued"
+	// Running: a worker is sampling.
+	Running JobState = "running"
+	// Done: completed (converged or budget exhausted).
+	Done JobState = "done"
+	// Failed: terminated abnormally (bad spec discovered late, timeout).
+	Failed JobState = "failed"
+	// Canceled: canceled by the client or by server drain.
+	Canceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == Done || s == Failed || s == Canceled
+}
+
+// JobSpec describes one inference job. Zero fields take the documented
+// defaults at admission; the normalized spec is echoed in job status.
+type JobSpec struct {
+	// Workload is a BayesSuite registry name (required; see
+	// workloads.Names).
+	Workload string `json:"workload"`
+	// Iterations is the per-chain budget (default: the workload's
+	// original user-chosen setting — the number elision competes with).
+	Iterations int `json:"iterations,omitempty"`
+	// Chains is the chain count (default 4, per Brooks et al.).
+	Chains int `json:"chains,omitempty"`
+	// Seed seeds dataset synthesis and every chain RNG stream. Equal
+	// specs ⇒ bit-identical results.
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale is the dataset scale in (0, 1] (default 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Sampler is "nuts" (default), "hmc", or "mh".
+	Sampler string `json:"sampler,omitempty"`
+	// NoElide disables runtime convergence detection; the R̂ trajectory
+	// is still tracked and reported.
+	NoElide bool `json:"no_elide,omitempty"`
+	// TimeoutSec bounds the job's running time (0: the server default).
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// RHatPoint is one runtime convergence check, as reported over the API.
+type RHatPoint struct {
+	Iteration int     `json:"iteration"`
+	RHat      float64 `json:"rhat"`
+}
+
+// PlacementDecision is where a job was placed and why — the serving-layer
+// form of the paper's §V-A mechanism.
+type PlacementDecision struct {
+	// Platform/Processor identify the simulated machine (Table II).
+	Platform  string `json:"platform"`
+	Processor string `json:"processor"`
+	// ModeledDataKB is the predictor's input feature.
+	ModeledDataKB float64 `json:"modeled_data_kb"`
+	// PredictedMPKI is the predicted 4-core LLC MPKI (0 under fallback).
+	PredictedMPKI float64 `json:"predicted_mpki,omitempty"`
+	// LLCBound is the predictor's classification.
+	LLCBound bool `json:"llc_bound"`
+	// FrequencyFirst marks the no-predictor fallback policy.
+	FrequencyFirst bool `json:"frequency_first,omitempty"`
+	// Reason explains the decision in one sentence.
+	Reason string `json:"reason"`
+}
+
+// JobStatus is a point-in-time snapshot of a job, safe to marshal.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+	Error string   `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Progress is the iteration every chain has completed, out of Budget.
+	Progress int `json:"progress"`
+	Budget   int `json:"budget"`
+
+	Placement *PlacementDecision `json:"placement,omitempty"`
+	RHatTrace []RHatPoint        `json:"rhat_trace,omitempty"`
+
+	// Elided: the run stopped early on convergence. Interrupted: it was
+	// cut short by cancel/timeout (draws up to Progress are retained).
+	Elided      bool `json:"elided"`
+	Interrupted bool `json:"interrupted,omitempty"`
+	// SavedIterations/SavedJoules are the job's elision savings across
+	// chains (iterations not executed; simulated energy not spent).
+	SavedIterations int64   `json:"saved_iterations"`
+	SavedJoules     float64 `json:"saved_joules"`
+}
+
+// ParamSummary is one parameter's posterior summary (diag.Summary with
+// wire names).
+type ParamSummary struct {
+	Name   string  `json:"name,omitempty"`
+	Mean   float64 `json:"mean"`
+	SD     float64 `json:"sd"`
+	Q05    float64 `json:"q05"`
+	Median float64 `json:"median"`
+	Q95    float64 `json:"q95"`
+	RHat   float64 `json:"rhat"`
+	ESS    float64 `json:"ess"`
+}
+
+// ResultPayload is the /result response: posterior summaries over the
+// post-warmup draws, plus the run's accounting.
+type ResultPayload struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Partial marks summaries computed from an interrupted run's aligned
+	// prefix rather than a finished run.
+	Partial    bool           `json:"partial,omitempty"`
+	Elided     bool           `json:"elided"`
+	Iterations int            `json:"iterations"`
+	Budget     int            `json:"budget"`
+	MaxRHat    float64        `json:"max_rhat"`
+	WorkEvals  int64          `json:"work_evals"`
+	Summaries  []ParamSummary `json:"summaries"`
+}
+
+// PlatformStats is one simulated platform's live accounting.
+type PlatformStats struct {
+	Platform    string  `json:"platform"`
+	Cores       int     `json:"cores"`
+	CoresInUse  int     `json:"cores_in_use"`
+	Utilization float64 `json:"utilization"`
+	RunningJobs int     `json:"running_jobs"`
+	TotalJobs   int     `json:"total_jobs"`
+}
+
+// Stats is the /v1/stats response.
+type Stats struct {
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	Running    int `json:"running"`
+	Done       int `json:"done"`
+	Failed     int `json:"failed"`
+	Canceled   int `json:"canceled"`
+
+	Platforms []PlatformStats `json:"platforms"`
+
+	// Elision savings aggregated over completed jobs.
+	SavedIterations int64   `json:"saved_iterations"`
+	SavedJoules     float64 `json:"saved_joules"`
+
+	// Predictor state: the LLC-bound threshold when fitted, or the
+	// frequency-first fallback and why.
+	PredictorThresholdKB float64 `json:"predictor_threshold_kb,omitempty"`
+	FrequencyFirst       bool    `json:"frequency_first,omitempty"`
+	PredictorNote        string  `json:"predictor_note,omitempty"`
+
+	Draining bool `json:"draining,omitempty"`
+}
+
+// Job is one admitted inference job. All mutable fields are guarded by
+// mu; HTTP handlers and the worker running the job observe it only
+// through snapshots.
+type Job struct {
+	id        string
+	spec      JobSpec // normalized
+	budget    int
+	submitted time.Time
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	started   time.Time
+	finished  time.Time
+	progress  int
+	rhat      []RHatPoint
+	placement *PlacementDecision
+
+	elided          bool
+	interrupted     bool
+	savedIters      int64
+	savedJoules     float64
+	cancelRequested bool
+	cancelCause     string
+	cancelRun       func() // cancels the running sampler's context
+
+	result    *mcmc.Result
+	summaries []ParamSummary
+	maxRHat   float64
+
+	done chan struct{}
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:              j.id,
+		State:           j.state,
+		Spec:            j.spec,
+		Error:           j.errMsg,
+		SubmittedAt:     j.submitted,
+		Progress:        j.progress,
+		Budget:          j.budget,
+		Elided:          j.elided,
+		Interrupted:     j.interrupted,
+		SavedIterations: j.savedIters,
+		SavedJoules:     j.savedJoules,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.placement != nil {
+		p := *j.placement
+		st.Placement = &p
+	}
+	if len(j.rhat) > 0 {
+		st.RHatTrace = append([]RHatPoint(nil), j.rhat...)
+	}
+	return st
+}
+
+// Result returns the job's result payload, or false while the job is
+// still queued or running. Interrupted jobs return their partial
+// summaries with Partial set.
+func (j *Job) Result() (ResultPayload, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return ResultPayload{ID: j.id, State: j.state}, false
+	}
+	p := ResultPayload{
+		ID:        j.id,
+		State:     j.state,
+		Partial:   j.state != Done,
+		Elided:    j.elided,
+		Budget:    j.budget,
+		MaxRHat:   j.maxRHat,
+		Summaries: append([]ParamSummary(nil), j.summaries...),
+	}
+	if j.result != nil {
+		p.Iterations = j.result.Iterations
+		p.WorkEvals = j.result.TotalWork()
+	}
+	return p, true
+}
+
+// Raw returns the underlying mcmc result for in-process callers (tests,
+// the bit-identity acceptance check) once the job is terminal, else nil.
+func (j *Job) Raw() *mcmc.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil
+	}
+	return j.result
+}

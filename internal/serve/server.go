@@ -1,0 +1,602 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bayessuite/internal/diag"
+	"bayessuite/internal/elide"
+	"bayessuite/internal/hw"
+	"bayessuite/internal/mcmc"
+	"bayessuite/internal/model"
+	"bayessuite/internal/perf"
+	"bayessuite/internal/sched"
+	"bayessuite/internal/workloads"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull: the admission queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining: the server is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+	// ErrNotFound: no such job (HTTP 404).
+	ErrNotFound = errors.New("serve: job not found")
+	// ErrFinished: the job already reached a terminal state (HTTP 409).
+	ErrFinished = errors.New("serve: job already finished")
+	// ErrBadSpec: the job spec failed validation (HTTP 400).
+	ErrBadSpec = errors.New("serve: bad job spec")
+)
+
+// Config configures a Server. Zero values take the documented defaults.
+type Config struct {
+	// QueueCap bounds the admission queue (default 64). Submissions
+	// beyond it fail with ErrQueueFull — backpressure, not buffering.
+	QueueCap int
+	// Workers is the number of concurrent job runners (default 2; each
+	// job itself runs its chains on parallel goroutines).
+	Workers int
+	// DefaultTimeout bounds each job's running time when the spec does
+	// not set one (default 0: no timeout).
+	DefaultTimeout time.Duration
+	// Predictor, when non-nil, is a pre-fitted LLC predictor and wins
+	// over CalibrationPoints.
+	Predictor *sched.Predictor
+	// CalibrationPoints, when non-empty (and Predictor is nil), are
+	// fitted at construction. A fit failing with sched.ErrNoLinearRegime
+	// switches the server to frequency-first placement instead of
+	// trusting a degenerate slope.
+	CalibrationPoints []sched.Point
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	return c
+}
+
+// Server is the job-queue inference service: bounded admission, a worker
+// pool that places and runs jobs, cancellation, and graceful drain.
+type Server struct {
+	cfg Config
+
+	pred     *sched.Predictor // nil → frequency-first fallback
+	schedr   *sched.Scheduler
+	predNote string
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	jobs     map[string]*Job
+	order    []string
+
+	// beforeRun, when non-nil, is called by a worker after claiming a
+	// job and before sampling starts. Test hook: lets the queue tests
+	// hold a worker busy deterministically.
+	beforeRun func(*Job)
+}
+
+// NewServer builds the server, fits the predictor if calibration points
+// were supplied, and starts the worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueCap),
+		jobs:  make(map[string]*Job),
+	}
+	switch {
+	case cfg.Predictor != nil:
+		s.pred = cfg.Predictor
+		s.predNote = fmt.Sprintf("pre-fitted predictor, LLC-bound above %.0f KB", s.pred.ThresholdKB)
+	case len(cfg.CalibrationPoints) > 0:
+		pred, err := sched.Fit(cfg.CalibrationPoints)
+		if err != nil {
+			// No linear regime (or otherwise unusable fit): place
+			// frequency-first rather than schedule on noise (§V-A).
+			s.predNote = err.Error()
+		} else {
+			s.pred = pred
+			s.predNote = fmt.Sprintf("fitted on %d points, LLC-bound above %.0f KB",
+				len(cfg.CalibrationPoints), pred.ThresholdKB)
+		}
+	default:
+		s.predNote = "no calibration provided"
+	}
+	if s.pred != nil {
+		s.schedr = sched.NewScheduler(s.pred)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// FrequencyFirst reports whether the server is placing jobs without a
+// predictor, and why.
+func (s *Server) FrequencyFirst() (bool, string) { return s.pred == nil, s.predNote }
+
+// normalize validates spec and fills defaults, returning the normalized
+// spec, the iteration budget, and the parsed sampler kind.
+func normalize(spec JobSpec) (JobSpec, int, mcmc.SamplerKind, error) {
+	known := false
+	for _, n := range workloads.Names() {
+		if n == spec.Workload {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return spec, 0, 0, fmt.Errorf("%w: unknown workload %q", ErrBadSpec, spec.Workload)
+	}
+	if spec.Scale == 0 {
+		spec.Scale = 1
+	}
+	if spec.Scale < 0 || spec.Scale > 1 {
+		return spec, 0, 0, fmt.Errorf("%w: scale %g outside (0, 1]", ErrBadSpec, spec.Scale)
+	}
+	if spec.Chains == 0 {
+		spec.Chains = 4
+	}
+	if spec.Chains < 1 || spec.Chains > 64 {
+		return spec, 0, 0, fmt.Errorf("%w: chains %d outside [1, 64]", ErrBadSpec, spec.Chains)
+	}
+	if spec.Iterations < 0 || spec.Iterations > 1<<20 {
+		return spec, 0, 0, fmt.Errorf("%w: iterations %d outside [0, 2^20]", ErrBadSpec, spec.Iterations)
+	}
+	if spec.TimeoutSec < 0 {
+		return spec, 0, 0, fmt.Errorf("%w: negative timeout", ErrBadSpec)
+	}
+	if spec.Sampler == "" {
+		spec.Sampler = "nuts"
+	}
+	kind, err := mcmc.ParseSampler(spec.Sampler)
+	if err != nil {
+		return spec, 0, 0, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	budget := spec.Iterations
+	if budget == 0 {
+		info, err := workloads.Defaults(spec.Workload)
+		if err != nil {
+			return spec, 0, 0, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		budget = info.Iterations
+		spec.Iterations = budget
+	}
+	return spec, budget, kind, nil
+}
+
+// Submit validates and admits a job. It fails fast with ErrQueueFull when
+// the queue is at capacity and ErrDraining during shutdown.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	norm, budget, _, err := normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	job := &Job{
+		id:        fmt.Sprintf("job-%06d", s.seq+1),
+		spec:      norm,
+		budget:    budget,
+		submitted: time.Now(),
+		state:     Queued,
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	return job, nil
+}
+
+// Job returns the job with the given id.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, nil
+	}
+	return nil, ErrNotFound
+}
+
+// Cancel cancels a job. Queued jobs transition to Canceled immediately
+// (the worker skips them when popped); running jobs have their sampling
+// context canceled and finalize with the draws completed so far.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	job, err := s.Job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	job.mu.Lock()
+	switch {
+	case job.state == Queued:
+		job.cancelRequested = true
+		job.cancelCause = "canceled by client while queued"
+		job.errMsg = job.cancelCause
+		job.state = Canceled
+		job.finished = time.Now()
+		close(job.done)
+	case job.state == Running:
+		if !job.cancelRequested {
+			job.cancelRequested = true
+			job.cancelCause = "canceled by client while running"
+			if job.cancelRun != nil {
+				job.cancelRun()
+			}
+		}
+	default:
+		job.mu.Unlock()
+		return job.Status(), ErrFinished
+	}
+	job.mu.Unlock()
+	return job.Status(), nil
+}
+
+// Shutdown drains the server: admission stops, jobs still queued are
+// canceled, and jobs already running complete normally. If ctx expires
+// first, running jobs are canceled (finalizing with partial results) and
+// Shutdown still waits for the workers before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	for _, job := range s.snapshot() {
+		job.mu.Lock()
+		if job.state == Running && !job.cancelRequested {
+			job.cancelRequested = true
+			job.cancelCause = "canceled by server shutdown"
+			if job.cancelRun != nil {
+				job.cancelRun()
+			}
+		}
+		job.mu.Unlock()
+	}
+	<-done
+	return ctx.Err()
+}
+
+// snapshot returns the jobs in submission order.
+func (s *Server) snapshot() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Jobs returns a status snapshot of every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	jobs := s.snapshot()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Stats derives the live service statistics from job states, so the
+// accounting cannot drift from the lifecycle transitions.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+
+	st := Stats{
+		QueueCap:      s.cfg.QueueCap,
+		Draining:      draining,
+		PredictorNote: s.predNote,
+	}
+	if s.pred != nil {
+		st.PredictorThresholdKB = s.pred.ThresholdKB
+	} else {
+		st.FrequencyFirst = true
+	}
+	perPlat := make(map[string]*PlatformStats, len(hw.Platforms))
+	for _, p := range hw.Platforms {
+		perPlat[p.Codename] = &PlatformStats{Platform: p.Codename, Cores: p.Cores}
+	}
+	for _, job := range s.snapshot() {
+		job.mu.Lock()
+		state, placement, chains := job.state, job.placement, job.spec.Chains
+		st.SavedIterations += job.savedIters
+		st.SavedJoules += job.savedJoules
+		job.mu.Unlock()
+		switch state {
+		case Queued:
+			st.QueueDepth++
+		case Running:
+			st.Running++
+		case Done:
+			st.Done++
+		case Failed:
+			st.Failed++
+		case Canceled:
+			st.Canceled++
+		}
+		if placement == nil {
+			continue
+		}
+		ps, ok := perPlat[placement.Platform]
+		if !ok {
+			continue
+		}
+		ps.TotalJobs++
+		if state == Running {
+			ps.RunningJobs++
+			cores := chains
+			if cores > ps.Cores {
+				cores = ps.Cores
+			}
+			ps.CoresInUse += cores
+		}
+	}
+	for _, ps := range perPlat {
+		if ps.CoresInUse > ps.Cores {
+			ps.CoresInUse = ps.Cores // oversubscribed: report saturation
+		}
+		ps.Utilization = float64(ps.CoresInUse) / float64(ps.Cores)
+		st.Platforms = append(st.Platforms, *ps)
+	}
+	sort.Slice(st.Platforms, func(i, j int) bool { return st.Platforms[i].Platform < st.Platforms[j].Platform })
+	return st
+}
+
+// worker is one pool goroutine: it pops admitted jobs until the queue is
+// closed, skipping jobs canceled while queued and canceling (not running)
+// jobs popped after drain began.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// place decides a job's platform: the predictor's LLC-bound
+// classification when available, frequency-first otherwise.
+func (s *Server) place(name string, modeledBytes int) PlacementDecision {
+	kb := float64(modeledBytes) / 1024
+	if s.pred == nil {
+		return PlacementDecision{
+			Platform:       hw.Skylake.Codename,
+			Processor:      hw.Skylake.Processor,
+			ModeledDataKB:  kb,
+			FrequencyFirst: true,
+			Reason: fmt.Sprintf("frequency-first fallback (%s): without a trustworthy LLC predictor every job goes to the high-frequency %s",
+				s.predNote, hw.Skylake.Codename),
+		}
+	}
+	a := s.schedr.Assign(name, modeledBytes)
+	rel := "below"
+	if a.LLCBound {
+		rel = "at or above"
+	}
+	return PlacementDecision{
+		Platform:      a.Platform.Codename,
+		Processor:     a.Platform.Processor,
+		ModeledDataKB: a.ModeledDataKB,
+		PredictedMPKI: a.PredictedMPKI,
+		LLCBound:      a.LLCBound,
+		Reason: fmt.Sprintf("modeled data %.1f KB is %s the %.0f KB LLC-bound threshold (predicted %.2f MPKI at 4 cores) → %s",
+			a.ModeledDataKB, rel, s.pred.ThresholdKB, a.PredictedMPKI, a.Platform.Codename),
+	}
+}
+
+// traceRule wraps the elision detector so every convergence check lands
+// in the job's R̂ trajectory as it happens; when elision is disabled for
+// the job the trace still accumulates but never stops the run.
+type traceRule struct {
+	det  *elide.Detector
+	job  *Job
+	stop bool
+}
+
+func (t *traceRule) ShouldStop(chains []*mcmc.Samples, iter int) bool {
+	stop := t.det.ShouldStop(chains, iter)
+	cp := t.det.Trace[len(t.det.Trace)-1]
+	t.job.mu.Lock()
+	t.job.rhat = append(t.job.rhat, RHatPoint{Iteration: cp.Iteration, RHat: cp.RHat})
+	t.job.mu.Unlock()
+	return stop && t.stop
+}
+
+// runJob executes one claimed job end to end: placement, sampling with
+// live progress and convergence tracking, then finalization.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	draining := s.draining
+	hook := s.beforeRun
+	s.mu.Unlock()
+
+	job.mu.Lock()
+	if job.state != Queued { // canceled while queued
+		job.mu.Unlock()
+		return
+	}
+	if draining {
+		job.state = Canceled
+		job.errMsg = "canceled: server draining"
+		job.finished = time.Now()
+		close(job.done)
+		job.mu.Unlock()
+		return
+	}
+	// Claim: from here the job counts as running (it holds a worker),
+	// even though sampling starts a few steps later.
+	job.state = Running
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	if hook != nil {
+		hook(job)
+	}
+
+	w, err := workloads.New(job.spec.Workload, job.spec.Scale, job.spec.Seed)
+	if err != nil {
+		s.finalizeFailed(job, fmt.Sprintf("building workload: %v", err))
+		return
+	}
+	kind, err := mcmc.ParseSampler(job.spec.Sampler)
+	if err != nil {
+		s.finalizeFailed(job, err.Error())
+		return
+	}
+	pl := s.place(job.spec.Workload, w.ModeledDataBytes())
+
+	timeout := time.Duration(job.spec.TimeoutSec * float64(time.Second))
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	job.mu.Lock()
+	job.placement = &pl
+	job.cancelRun = cancel
+	canceledEarly := job.cancelRequested
+	job.mu.Unlock()
+	if canceledEarly {
+		// A DELETE raced the claim before the sampling context existed;
+		// fire it now so the run stops at iteration zero.
+		cancel()
+	}
+
+	rule := &traceRule{det: elide.NewDetector(), job: job, stop: !job.spec.NoElide}
+	cfg := mcmc.Config{
+		Chains:     job.spec.Chains,
+		Iterations: job.budget,
+		Sampler:    kind,
+		Seed:       job.spec.Seed,
+		Parallel:   true,
+		StopRule:   rule,
+		Progress: func(done int) {
+			job.mu.Lock()
+			job.progress = done
+			job.mu.Unlock()
+		},
+	}
+	res := mcmc.RunContext(ctx, cfg, func() mcmc.Target { return model.NewEvaluator(w.Model) })
+
+	var sums []ParamSummary
+	maxR := 0.0
+	if res.Iterations >= 4 {
+		draws := res.SecondHalfDraws()
+		var names []string
+		if c, ok := w.Model.(model.Constrainer); ok {
+			names = c.ConstrainedNames()
+		}
+		for _, d := range diag.Summarize(draws, names) {
+			sums = append(sums, ParamSummary{
+				Name: d.Name, Mean: d.Mean, SD: d.SD,
+				Q05: d.Q05, Median: d.Median, Q95: d.Q95,
+				RHat: d.RHat, ESS: d.ESS,
+			})
+		}
+		maxR = diag.MaxSplitRHat(draws)
+	}
+
+	var savedIters int64
+	var savedJoules float64
+	if res.Elided {
+		perChain := job.budget - res.Iterations
+		savedIters = int64(perChain) * int64(job.spec.Chains)
+		savedJoules = elisionJoules(w, pl, perChain, job.spec.Chains)
+	}
+
+	job.mu.Lock()
+	job.result = res
+	job.summaries = sums
+	job.maxRHat = maxR
+	job.progress = res.Iterations
+	job.elided = res.Elided
+	job.interrupted = res.Interrupted
+	job.savedIters = savedIters
+	job.savedJoules = savedJoules
+	switch {
+	case !res.Interrupted:
+		job.state = Done
+	case job.cancelRequested:
+		job.state = Canceled
+		job.errMsg = job.cancelCause
+	case ctx.Err() == context.DeadlineExceeded:
+		job.state = Failed
+		job.errMsg = fmt.Sprintf("timeout after %v (%d/%d iterations retained)", timeout, res.Iterations, job.budget)
+	default:
+		job.state = Canceled
+		job.errMsg = "canceled"
+	}
+	job.finished = time.Now()
+	job.cancelRun = nil
+	close(job.done)
+	job.mu.Unlock()
+}
+
+// finalizeFailed marks a claimed job failed before sampling started.
+func (s *Server) finalizeFailed(job *Job, msg string) {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.state.Terminal() { // a cancel raced the failure
+		return
+	}
+	job.state = Failed
+	job.errMsg = msg
+	job.finished = time.Now()
+	close(job.done)
+}
+
+// elisionJoules converts a job's elided iterations into simulated energy
+// on its assigned platform: the hardware model's whole-run energy for the
+// workload, prorated by the fraction of the budget not executed.
+func elisionJoules(w *workloads.Workload, pl PlacementDecision, savedPerChain, chains int) float64 {
+	plat, ok := hw.ByName(pl.Platform)
+	if !ok || w.Info.Iterations <= 0 || savedPerChain <= 0 {
+		return 0
+	}
+	cores := chains
+	if cores > plat.Cores {
+		cores = plat.Cores
+	}
+	m := hw.Characterize(perf.Static(w), plat, cores)
+	return m.EnergyJoules * float64(savedPerChain) / float64(w.Info.Iterations)
+}

@@ -10,6 +10,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
 	"bayessuite/internal/model"
 )
@@ -151,6 +152,25 @@ func New(name string, scale float64, seed uint64) (*Workload, error) {
 		}
 	}
 	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// infoCache memoizes per-workload static metadata for Defaults.
+var infoCache sync.Map // name → Info
+
+// Defaults returns the named workload's static registry metadata
+// (iteration budget, chain count, family, ...) without synthesizing its
+// full dataset: the workload is built once at a small probe scale and the
+// Info cached. Only the scale-independent fields are meaningful.
+func Defaults(name string) (Info, error) {
+	if v, ok := infoCache.Load(name); ok {
+		return v.(Info), nil
+	}
+	w, err := New(name, 0.05, 1)
+	if err != nil {
+		return Info{}, err
+	}
+	infoCache.Store(name, w.Info)
+	return w.Info, nil
 }
 
 // All builds the full suite at the given dataset scale.
