@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt-check vet test race serve-smoke bench bench-runner bench-json
+.PHONY: ci build fmt-check vet test race fault-matrix serve-smoke bench bench-runner bench-json
 
-ci: fmt-check vet test race
+ci: fmt-check vet test race fault-matrix
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ test:
 # serving layer (admission queue, worker pool, cancellation).
 race:
 	$(GO) test -race ./internal/mcmc/... ./internal/elide/... ./internal/serve/...
+
+# Deterministic fault-injection matrix under the race detector: every
+# sampler crossed with every injectable fault kind (panic, non-finite,
+# slow iteration, cancel), plus the checkpoint/resume and quarantine
+# suites and the serve-layer retry tests they feed.
+fault-matrix:
+	$(GO) test -race -run 'Fault|Checkpoint|Quarantine|Retry|Resume|Injector' \
+		./internal/fault/... ./internal/mcmc/... ./internal/serve/...
 
 # End-to-end smoke test of the serving daemon: boots bayesd on a random
 # port, submits a small seeded job over HTTP, polls it to completion, and

@@ -7,11 +7,17 @@
 // Usage:
 //
 //	bayesd [-addr 127.0.0.1:8080] [-queue 64] [-workers 2]
-//	       [-timeout 0] [-seed 7]
+//	       [-timeout 0] [-seed 7] [-retries 2]
 //	bayesd -smoke      # boot on a random port, run one job end-to-end
 //
+// Jobs whose every chain is quarantined (panic, non-finite density,
+// divergence storm) are retried up to -retries times from their last
+// all-healthy checkpoint, with capped exponential backoff. GET /healthz
+// is liveness (200 while the process serves); GET /readyz is readiness
+// (503 once a drain begins).
+//
 // On SIGINT/SIGTERM the daemon drains: admission stops (503), queued
-// jobs are canceled, running jobs complete.
+// jobs and pending retries are canceled, running jobs complete.
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent job runners")
 	timeout := flag.Duration("timeout", 0, "default per-job timeout (0: none)")
 	seed := flag.Uint64("seed", 7, "seed for the calibration datasets")
+	retries := flag.Int("retries", 2, "retries per job when every chain faults (-1: disable)")
 	smoke := flag.Bool("smoke", false, "self-test: boot on a random port, run a small job to completion, assert elision fired")
 	flag.Parse()
 
@@ -46,7 +53,7 @@ func main() {
 		fmt.Println("bayesd: SMOKE PASS")
 		return
 	}
-	if err := run(*addr, *queueCap, *workers, *timeout, *seed); err != nil {
+	if err := run(*addr, *queueCap, *workers, *timeout, *seed, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "bayesd:", err)
 		os.Exit(1)
 	}
@@ -54,7 +61,7 @@ func main() {
 
 // boot calibrates the placement predictor and starts the server and its
 // HTTP listener, returning the server and the bound address.
-func boot(addr string, queueCap, workers int, timeout time.Duration, seed uint64) (*serve.Server, net.Listener, error) {
+func boot(addr string, queueCap, workers int, timeout time.Duration, seed uint64, retries int) (*serve.Server, net.Listener, error) {
 	pts, err := serve.SuiteCalibration(seed)
 	if err != nil {
 		return nil, nil, fmt.Errorf("calibrating predictor: %w", err)
@@ -64,6 +71,7 @@ func boot(addr string, queueCap, workers int, timeout time.Duration, seed uint64
 		Workers:           workers,
 		DefaultTimeout:    timeout,
 		CalibrationPoints: pts,
+		MaxRetries:        retries,
 	})
 	if fallback, note := srv.FrequencyFirst(); fallback {
 		fmt.Printf("bayesd: placement: frequency-first fallback (%s)\n", note)
@@ -77,8 +85,8 @@ func boot(addr string, queueCap, workers int, timeout time.Duration, seed uint64
 	return srv, ln, nil
 }
 
-func run(addr string, queueCap, workers int, timeout time.Duration, seed uint64) error {
-	srv, ln, err := boot(addr, queueCap, workers, timeout, seed)
+func run(addr string, queueCap, workers int, timeout time.Duration, seed uint64, retries int) error {
+	srv, ln, err := boot(addr, queueCap, workers, timeout, seed, retries)
 	if err != nil {
 		return err
 	}
@@ -117,7 +125,7 @@ func run(addr string, queueCap, workers int, timeout time.Duration, seed uint64)
 // a small 12cities job over real HTTP, poll it to completion, and assert
 // that convergence elision fired and summaries came back.
 func runSmoke(seed uint64) error {
-	srv, ln, err := boot("127.0.0.1:0", 8, 2, 0, seed)
+	srv, ln, err := boot("127.0.0.1:0", 8, 2, 0, seed, 2)
 	if err != nil {
 		return err
 	}
@@ -127,6 +135,17 @@ func runSmoke(seed uint64) error {
 
 	base := fmt.Sprintf("http://%s", ln.Addr())
 	fmt.Printf("bayesd: smoke server on %s\n", base)
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + probe)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", probe, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %d, want 200", probe, resp.StatusCode)
+		}
+	}
+	fmt.Println("bayesd: healthz/readyz ok")
 	client := serve.NewClient(base)
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()

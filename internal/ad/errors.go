@@ -1,0 +1,50 @@
+package ad
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrNonFinite is the typed report of a non-finite value escaping a density
+// or gradient computation. The fused kernels raise it as a panic value
+// (mirroring ErrIndefinite) the moment a NaN or infinity appears in their
+// reduced value or partials, carrying the parameter index of the offending
+// entry; model.Evaluator recovers it, records it, and converts the
+// evaluation into a -Inf rejection. That replaces the old failure mode —
+// silently washing NaN out to -Inf with no record of which parameter
+// produced it — with an inspectable event the fault-handling layers above
+// (chain quarantine, job retry) can report.
+type ErrNonFinite struct {
+	// Op names the computation that detected the value (kernel or model).
+	Op string
+	// Index is the parameter index of the offending gradient entry, or -1
+	// when the log density value itself is non-finite.
+	Index int
+	// Value is the offending value (NaN or ±Inf).
+	Value float64
+}
+
+func (e *ErrNonFinite) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("ad: %s: non-finite log density %v", e.Op, e.Value)
+	}
+	return fmt.Sprintf("ad: %s: non-finite gradient %v at parameter %d", e.Op, e.Value, e.Index)
+}
+
+// CheckFinite inspects a log density value and its partial derivatives and
+// returns a typed *ErrNonFinite describing the first offending entry, or
+// nil when everything is usable. A NaN value is an error; ±Inf values are
+// not (-Inf is an ordinary rejection, +Inf is left for the sampler layer
+// to judge). Any NaN or ±Inf partial is an error carrying its parameter
+// index. grad may be nil for value-only checks.
+func CheckFinite(op string, val float64, grad []float64) *ErrNonFinite {
+	if math.IsNaN(val) {
+		return &ErrNonFinite{Op: op, Index: -1, Value: val}
+	}
+	for i, g := range grad {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			return &ErrNonFinite{Op: op, Index: i, Value: g}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package fault
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"bayessuite/internal/mcmc"
+)
+
+// gauss is a small diagonal Gaussian target (the fault matrix cares about
+// control flow, not geometry).
+type gauss struct{}
+
+func (gauss) Dim() int { return 3 }
+func (gauss) LogDensityGrad(q, grad []float64) float64 {
+	lp := 0.0
+	for i := range q {
+		lp += -0.5 * q[i] * q[i]
+		grad[i] = -q[i]
+	}
+	return lp
+}
+func (g gauss) LogDensity(q []float64) float64 {
+	grad := make([]float64, 3)
+	return g.LogDensityGrad(q, grad)
+}
+
+func target() mcmc.Target { return gauss{} }
+
+const (
+	chains     = 4
+	iterations = 200
+	faultChain = 1
+	faultIter  = 120
+	ckEvery    = 50
+)
+
+func baseConfig(kind mcmc.SamplerKind) mcmc.Config {
+	return mcmc.Config{
+		Chains:     chains,
+		Iterations: iterations,
+		Sampler:    kind,
+		Seed:       9,
+		Parallel:   true,
+	}
+}
+
+func sameChainDraws(t *testing.T, label string, a, b *mcmc.Result) {
+	t.Helper()
+	for c := range a.Chains {
+		sa, sb := a.Chains[c].Samples, b.Chains[c].Samples
+		if sa.Len() != sb.Len() {
+			t.Fatalf("%s: chain %d has %d vs %d draws", label, c, sa.Len(), sb.Len())
+		}
+		for i := 0; i < sa.Len(); i++ {
+			for d := 0; d < sa.Dim(); d++ {
+				if math.Float64bits(sa.At(i, d)) != math.Float64bits(sb.At(i, d)) {
+					t.Fatalf("%s: chain %d draw %d param %d: %v vs %v",
+						label, c, i, d, sa.At(i, d), sb.At(i, d))
+				}
+			}
+		}
+	}
+}
+
+// TestFaultMatrix runs every sampler against every injectable fault kind
+// (run under -race by `make fault-matrix`). For the quarantining kinds it
+// checks that the surviving chains complete their full budget, the fault
+// surfaces as a typed ChainFault at the injection site, and a run resumed
+// from the last pre-fault checkpoint reproduces the faulted run draw for
+// draw — fault included.
+func TestFaultMatrix(t *testing.T) {
+	samplers := []mcmc.SamplerKind{mcmc.MetropolisHastings, mcmc.HMC, mcmc.NUTS}
+	kinds := []Kind{Panic, NonFinite, Slow, Cancel}
+	for _, kind := range samplers {
+		kind := kind
+		for _, fk := range kinds {
+			fk := fk
+			t.Run(kind.String()+"/"+fk.String(), func(t *testing.T) {
+				t.Parallel()
+				switch fk {
+				case Panic, NonFinite:
+					testQuarantine(t, kind, fk)
+				case Slow:
+					testSlow(t, kind)
+				case Cancel:
+					testCancel(t, kind)
+				}
+			})
+		}
+	}
+}
+
+// testQuarantine: one chain faults mid-run; the rest must finish, and the
+// checkpoint-resume replay must be bit-identical.
+func testQuarantine(t *testing.T, kind mcmc.SamplerKind, fk Kind) {
+	newInjector := func() *Injector { return New(7).Schedule(faultChain, faultIter, fk) }
+
+	var cks []*mcmc.Checkpoint
+	cfg := baseConfig(kind)
+	cfg.CheckpointEvery = ckEvery
+	cfg.CheckpointSink = func(ck *mcmc.Checkpoint) { cks = append(cks, ck) }
+	inj := newInjector()
+	cfg.FaultHook = inj.Hook
+	res := mcmc.Run(cfg, target)
+
+	if got := inj.Fired(fk); got != 1 {
+		t.Fatalf("injector fired %d times, want 1", got)
+	}
+	f := res.Chains[faultChain].Fault
+	if f == nil {
+		t.Fatalf("faulted chain carries no ChainFault")
+	}
+	wantKind := mcmc.FaultNonFinite
+	if fk == Panic {
+		wantKind = mcmc.FaultPanic
+	}
+	if f.Kind != wantKind || f.Chain != faultChain || f.Iteration != faultIter {
+		t.Fatalf("fault = %+v, want kind %v chain %d iteration %d", f, wantKind, faultChain, faultIter)
+	}
+	if f.Msg == "" {
+		t.Errorf("fault has no message")
+	}
+	if fk == Panic {
+		if !strings.Contains(f.Msg, "injected panic") {
+			t.Errorf("panic text not captured: %q", f.Msg)
+		}
+		if f.Stack == "" {
+			t.Errorf("panic fault has no stack")
+		}
+	}
+	// The faulted chain keeps its clean prefix; survivors run to budget.
+	if n := res.Chains[faultChain].Samples.Len(); n != faultIter {
+		t.Errorf("faulted chain retained %d draws, want %d", n, faultIter)
+	}
+	for c, ch := range res.Chains {
+		if c == faultChain {
+			continue
+		}
+		if ch.Fault != nil {
+			t.Errorf("chain %d spuriously faulted: %v", c, ch.Fault)
+		}
+		if ch.Samples.Len() != iterations {
+			t.Errorf("surviving chain %d has %d draws, want %d", c, ch.Samples.Len(), iterations)
+		}
+	}
+	if res.Iterations != iterations {
+		t.Errorf("Iterations = %d, want %d (survivors define the aligned count)", res.Iterations, iterations)
+	}
+	if len(res.HealthyChains()) != chains-1 || len(res.Faults()) != 1 {
+		t.Errorf("healthy=%d faults=%d", len(res.HealthyChains()), len(res.Faults()))
+	}
+	// Checkpoints stop at the last all-healthy boundary before the fault.
+	if len(cks) == 0 {
+		t.Fatalf("no checkpoints captured")
+	}
+	last := cks[len(cks)-1]
+	if last.Iteration != 100 {
+		t.Fatalf("last checkpoint at %d, want 100 (the boundary before the fault)", last.Iteration)
+	}
+
+	// Resume from the last pre-fault checkpoint with the same injection
+	// plan: the replay must reproduce the faulted run bit for bit,
+	// including the fault itself.
+	rcfg := baseConfig(kind)
+	rcfg.ResumeFrom = last
+	rinj := newInjector()
+	rcfg.FaultHook = rinj.Hook
+	replay := mcmc.Run(rcfg, target)
+	sameChainDraws(t, "resume replay", res, replay)
+	rf := replay.Chains[faultChain].Fault
+	if rf == nil || rf.Kind != wantKind || rf.Iteration != faultIter {
+		t.Errorf("replay fault = %+v, want kind %v at %d", rf, wantKind, faultIter)
+	}
+}
+
+// testSlow: slow-iteration injection must not change results, only pace.
+func testSlow(t *testing.T, kind mcmc.SamplerKind) {
+	ref := mcmc.Run(baseConfig(kind), target)
+
+	inj := New(7).WithRandom(0.02, Slow, chains).WithSlow(0) // count-only stall
+	cfg := baseConfig(kind)
+	cfg.FaultHook = inj.Hook
+	res := mcmc.Run(cfg, target)
+
+	if inj.Injected() == 0 {
+		t.Fatalf("random injection never fired")
+	}
+	if len(res.Faults()) != 0 {
+		t.Fatalf("slow iterations must not quarantine: %v", res.Faults())
+	}
+	sameChainDraws(t, "slow", ref, res)
+	if res.Iterations != iterations || res.Interrupted {
+		t.Errorf("iterations %d interrupted %v", res.Iterations, res.Interrupted)
+	}
+}
+
+// testCancel: a fault-hook-tripped context cancel interrupts the run
+// cooperatively — completed draws retained, no chain faulted.
+func testCancel(t *testing.T, kind mcmc.SamplerKind) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := New(7).Schedule(faultChain, faultIter, Cancel).WithCancel(cancel)
+	cfg := baseConfig(kind)
+	cfg.StopRule = nil
+	cfg.Progress = func(int) {} // lockstep: aligned prefixes after cancel
+	cfg.FaultHook = inj.Hook
+	res := mcmc.RunContext(ctx, cfg, target)
+
+	if inj.Fired(Cancel) != 1 {
+		t.Fatalf("cancel fired %d times", inj.Fired(Cancel))
+	}
+	if !res.Interrupted {
+		t.Fatalf("canceled run not marked interrupted")
+	}
+	if len(res.Faults()) != 0 {
+		t.Fatalf("cancellation must not quarantine: %v", res.Faults())
+	}
+	if res.Iterations < faultIter || res.Iterations >= iterations {
+		t.Errorf("Iterations = %d, want in [%d, %d)", res.Iterations, faultIter, iterations)
+	}
+	for c, ch := range res.Chains {
+		if ch.Samples.Len() < res.Iterations {
+			t.Errorf("chain %d has %d draws < aligned %d", c, ch.Samples.Len(), res.Iterations)
+		}
+	}
+}
+
+// TestAllChainsFault: when every chain is quarantined the run ends early
+// and reports the aligned prefix every chain retained.
+func TestAllChainsFault(t *testing.T) {
+	inj := New(3)
+	for c := 0; c < chains; c++ {
+		inj.Schedule(c, 110+c, NonFinite)
+	}
+	cfg := baseConfig(mcmc.NUTS)
+	cfg.StopRule = neverStop{}
+	cfg.FaultHook = inj.Hook
+	res := mcmc.Run(cfg, target)
+
+	if len(res.Faults()) != chains || len(res.HealthyChains()) != 0 {
+		t.Fatalf("faults=%d healthy=%d", len(res.Faults()), len(res.HealthyChains()))
+	}
+	if res.Iterations != 110 {
+		t.Errorf("Iterations = %d, want 110 (smallest retained prefix)", res.Iterations)
+	}
+	for c, ch := range res.Chains {
+		if ch.Fault == nil || ch.Samples.Len() != 110+c {
+			t.Errorf("chain %d: fault %v len %d", c, ch.Fault, ch.Samples.Len())
+		}
+	}
+}
+
+type neverStop struct{}
+
+func (neverStop) ShouldStop(chains []*mcmc.Samples, iter int) bool { return false }
+
+// TestInjectorDeterminism: the probabilistic plan is a pure function of
+// the seed — two injectors with the same seed fire identically.
+func TestInjectorDeterminism(t *testing.T) {
+	fire := func() []bool {
+		in := New(42).WithRandom(0.1, NonFinite, 2)
+		var out []bool
+		for iter := 0; iter < 100; iter++ {
+			for c := 0; c < 2; c++ {
+				out = append(out, in.Hook(c, iter) == mcmc.FaultActNonFinite)
+			}
+		}
+		return out
+	}
+	a, b := fire(), fire()
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injection %d differs", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatalf("rate 0.1 over 200 sites never fired")
+	}
+}

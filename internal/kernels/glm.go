@@ -70,6 +70,18 @@ const (
 	famNormalID
 )
 
+// opName labels the family in ErrNonFinite reports.
+func (f glmFamily) opName() string {
+	switch f {
+	case famBernoulliLogit:
+		return "bernoulli_logit_glm"
+	case famPoissonLog:
+		return "poisson_log_glm"
+	default:
+		return "normal_id_glm"
+	}
+}
+
 // BernoulliLogitGLM is the fused kernel for
 // sum_i log Bernoulli(y_i | invlogit(eta_i)), Stan's
 // bernoulli_logit_glm_lpmf analogue.
@@ -210,6 +222,13 @@ func evalGLM(t *ad.Tape, fam glmFamily, d *glmData, yf []float64, valConst float
 	if fam == famNormalID {
 		val += float64(n) * (-math.Log(sigV) - mathx.LnSqrt2Pi)
 		nIns++
+	}
+	// Typed non-finite detection: a NaN value or non-finite partial is
+	// raised here, with the offending parameter index, instead of flowing
+	// into the tape and surfacing later as an unattributable NaN draw.
+	// (-Inf values pass: they are ordinary rejections.)
+	if err := ad.CheckFinite(fam.opName(), val, res[1:1+nIns]); err != nil {
+		panic(err)
 	}
 	ins := t.ScratchVars(nIns)
 	copy(ins, beta)

@@ -30,6 +30,9 @@ func NormalDeviations(t *ad.Tape, u []ad.Var, mu, sigma ad.Var) ad.Var {
 	val += float64(n) * (-math.Log(s) - mathx.LnSqrt2Pi)
 	dU[n] = dmu
 	dU[n+1] = dsigma
+	if err := ad.CheckFinite("normal_deviations", val, dU); err != nil {
+		panic(err)
+	}
 	ins := t.ScratchVars(n + 2)
 	copy(ins, u)
 	ins[n] = mu
@@ -73,6 +76,15 @@ func (st NormalSuffStats) LogLik(t *ad.Tape, mu, sigma ad.Var) ad.Var {
 	val := -0.5*q*inv2 + st.N*(-math.Log(s)-mathx.LnSqrt2Pi)
 	dmu := (st.Sum - st.N*m) * inv2
 	dsigma := q*inv2*inv - st.N*inv
+	if math.IsNaN(val) {
+		panic(&ad.ErrNonFinite{Op: "normal_suffstats", Index: -1, Value: val})
+	}
+	if math.IsNaN(dmu) || math.IsInf(dmu, 0) {
+		panic(&ad.ErrNonFinite{Op: "normal_suffstats", Index: 0, Value: dmu})
+	}
+	if math.IsNaN(dsigma) || math.IsInf(dsigma, 0) {
+		panic(&ad.ErrNonFinite{Op: "normal_suffstats", Index: 1, Value: dsigma})
+	}
 	mark := t.BeginFused()
 	t.FusedEdge(mu, dmu)
 	t.FusedEdge(sigma, dsigma)

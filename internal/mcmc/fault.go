@@ -1,0 +1,80 @@
+package mcmc
+
+import "fmt"
+
+// Fault containment. A long-running inference service cannot afford one
+// chain taking down a whole multi-chain run: a panic inside a sampler, a
+// numerically exploded trajectory, or a divergence storm on one chain must
+// be contained to that chain while the survivors finish. The runner
+// therefore executes every chain iteration under recover(), watches the
+// per-iteration log density for non-finite values, and quarantines a
+// misbehaving chain with a typed ChainFault instead of crashing or letting
+// NaNs poison the shared diagnostics. Quarantined chains keep the clean
+// draw prefix they produced before the fault; the convergence StopRule and
+// the aligned-iteration accounting see only the surviving chains.
+
+// FaultKind classifies why a chain was quarantined.
+type FaultKind int
+
+const (
+	// FaultPanic: the sampler (or the target density) panicked mid-step.
+	FaultPanic FaultKind = iota + 1
+	// FaultNonFinite: an iteration produced a NaN or +Inf log density —
+	// the chain's numerical state can no longer be trusted.
+	FaultNonFinite
+	// FaultDivergenceStorm: the chain exceeded
+	// Config.MaxConsecutiveDivergences divergent iterations in a row.
+	FaultDivergenceStorm
+)
+
+// String returns the fault kind's wire name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultNonFinite:
+		return "non-finite"
+	case FaultDivergenceStorm:
+		return "divergence-storm"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// ChainFault records why and where one chain was quarantined. The chain's
+// draws up to Iteration are retained and clean (the poisoned or partial
+// iteration is never appended).
+type ChainFault struct {
+	// Chain is the chain index within the run.
+	Chain int
+	// Kind classifies the fault.
+	Kind FaultKind
+	// Iteration is the number of completed (retained) draws when the
+	// fault struck.
+	Iteration int
+	// Msg is the human-readable detail: the panic text, the non-finite
+	// value observed, or the divergence count.
+	Msg string
+	// Stack is the goroutine stack at the recover site (panics only).
+	Stack string
+}
+
+// Error makes ChainFault usable as an error value.
+func (f *ChainFault) Error() string {
+	return fmt.Sprintf("mcmc: chain %d quarantined (%s) at iteration %d: %s",
+		f.Chain, f.Kind, f.Iteration, f.Msg)
+}
+
+// FaultAction is what a Config.FaultHook may ask the runner to do to the
+// current iteration. Production runs leave FaultHook nil; the hook exists
+// so the deterministic injection harness (internal/fault) can drive the
+// quarantine machinery from tests.
+type FaultAction int
+
+const (
+	// FaultActNone: proceed normally.
+	FaultActNone FaultAction = iota
+	// FaultActNonFinite: poison this iteration's log density with NaN
+	// after the step, exercising the numerical-quarantine path exactly
+	// where a real explosion would surface.
+	FaultActNonFinite
+)

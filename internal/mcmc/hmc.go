@@ -187,13 +187,18 @@ func (s *hmcSampler) Step() (float64, int64) {
 	for i := 0; i < nSteps; i++ {
 		lp = s.ham.leapfrog(s.qNew, p, s.gradNew, s.eps)
 		work++
-		if math.IsInf(lp, -1) {
+		if math.IsInf(lp, -1) || math.IsNaN(lp) {
+			// Abandon the trajectory on any non-finite density. A NaN
+			// must not keep integrating: the positions and momenta it
+			// produces are garbage, and the proposal below is rejected
+			// explicitly rather than through NaN comparison semantics.
 			break
 		}
 	}
 	joint := lp - s.ham.kinetic(p)
 	accept := math.Exp(math.Min(0, joint-joint0))
-	if math.IsNaN(accept) {
+	if math.IsNaN(lp) || math.IsNaN(accept) {
+		// Explicit non-finite rejection: the proposal never competes.
 		accept = 0
 	}
 	if joint-joint0 < -1000 {
@@ -214,6 +219,12 @@ func (s *hmcSampler) Step() (float64, int64) {
 func (s *hmcSampler) adapt(accept float64) {
 	if s.iter >= s.warmup {
 		return
+	}
+	if math.IsNaN(accept) {
+		// A NaN acceptance statistic would poison the dual-averaging
+		// state (and through it every later step size) permanently;
+		// treat it as a hard rejection instead.
+		accept = 0
 	}
 	s.eps = s.da.update(accept)
 	if s.sched.inSlowWindow(s.iter) {
@@ -237,3 +248,37 @@ func (s *hmcSampler) EndWarmup() {
 func (s *hmcSampler) AcceptStat() float64 { return s.lastAccept }
 func (s *hmcSampler) StepSize() float64   { return s.eps }
 func (s *hmcSampler) Divergent() bool     { return s.divergent }
+
+func (s *hmcSampler) snapshot(dst *SamplerState) {
+	*dst = SamplerState{
+		RNG:         s.r.State(),
+		Q:           append([]float64(nil), s.q...),
+		Grad:        append([]float64(nil), s.grad...),
+		LogP:        s.lp,
+		Iter:        s.iter,
+		LastAccept:  s.lastAccept,
+		StepSize:    s.eps,
+		InvMass:     append([]float64(nil), s.ham.invMass...),
+		DualAvg:     s.da.state(),
+		WelfordN:    s.wf.n,
+		WelfordMean: append([]float64(nil), s.wf.mean...),
+		WelfordM2:   append([]float64(nil), s.wf.m2...),
+	}
+}
+
+func (s *hmcSampler) restore(src *SamplerState) {
+	s.r.Restore(src.RNG)
+	copy(s.q, src.Q)
+	copy(s.grad, src.Grad)
+	s.lp = src.LogP
+	s.iter = src.Iter
+	s.lastAccept = src.LastAccept
+	s.eps = src.StepSize
+	copy(s.ham.invMass, src.InvMass)
+	s.da = newDualAveraging(src.StepSize, s.daTA)
+	s.da.restoreState(src.DualAvg)
+	s.wf.n = src.WelfordN
+	copy(s.wf.mean, src.WelfordMean)
+	copy(s.wf.m2, src.WelfordM2)
+	s.initilzd = true
+}

@@ -114,6 +114,39 @@ type Config struct {
 	// DisableMassAdaptation keeps the unit diagonal metric throughout
 	// warmup (the mass-matrix ablation in DESIGN.md).
 	DisableMassAdaptation bool
+
+	// CheckpointEvery, when positive, snapshots the whole run into a
+	// Checkpoint every N completed iterations and hands it to
+	// CheckpointSink. Checkpoints need aligned chains, so setting it
+	// routes the run through the lockstep path (results are identical;
+	// see the free-vs-lockstep determinism tests). Checkpointing stops
+	// once any chain is quarantined: the last checkpoint is the most
+	// recent all-healthy state, which is what a retry wants to resume.
+	CheckpointEvery int
+	// CheckpointSink receives each checkpoint. It is called from the
+	// coordination loop between rounds (never concurrently) and must not
+	// retain the run's internal buffers — the Checkpoint it receives is
+	// self-contained copies.
+	CheckpointSink func(*Checkpoint)
+	// ResumeFrom, when non-nil, resumes the run from a checkpoint instead
+	// of initializing fresh chains. The resumed run is bit-identical,
+	// draw for draw, to the uninterrupted run the checkpoint came from.
+	// The checkpoint must Validate against this Config and the target
+	// dimension; RunContext panics on a mismatch (resuming an
+	// incompatible snapshot would silently produce garbage).
+	ResumeFrom *Checkpoint
+	// MaxConsecutiveDivergences, when positive, quarantines a chain as a
+	// divergence storm once it records that many divergent iterations in
+	// a row (0 disables the check).
+	MaxConsecutiveDivergences int
+	// FaultHook, when non-nil, is called at the top of every chain
+	// iteration with (chain, iter). It may panic (exercising panic
+	// isolation), sleep (slow-iteration injection), trip external state
+	// (e.g. a context cancel), or return FaultActNonFinite to poison the
+	// iteration's log density. Production runs leave it nil — the cost is
+	// one nil check per iteration; internal/fault provides deterministic
+	// seed-driven implementations for the fault-matrix tests.
+	FaultHook func(chain, iter int) FaultAction
 }
 
 // StopRule decides whether sampling has converged. chains[c] is chain c's
@@ -184,6 +217,10 @@ type ChainResult struct {
 	// within the initialization attempt budget and the chain started from
 	// the origin instead.
 	InitFallback bool
+	// Fault, when non-nil, records that the chain was quarantined: it
+	// stopped advancing at Fault.Iteration while the surviving chains
+	// finished. The draws up to that point are retained and clean.
+	Fault *ChainFault
 }
 
 // Draws materializes the chain's draws in the legacy row-major shape
@@ -214,6 +251,48 @@ type Result struct {
 	Interrupted bool
 	// Config echoes the effective configuration.
 	Config Config
+}
+
+// Faults returns the fault records of every quarantined chain, in chain
+// order (empty when the run was fault-free).
+func (r *Result) Faults() []ChainFault {
+	var out []ChainFault
+	for _, c := range r.Chains {
+		if c.Fault != nil {
+			out = append(out, *c.Fault)
+		}
+	}
+	return out
+}
+
+// HealthyChains returns the chains that were not quarantined. Diagnostics
+// and posterior summaries should run over these: a faulted chain's draw
+// prefix is clean but shorter than Iterations, so mixing it in would make
+// the draw windows ragged.
+func (r *Result) HealthyChains() []*ChainResult {
+	out := make([]*ChainResult, 0, len(r.Chains))
+	for _, c := range r.Chains {
+		if c.Fault == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SecondHalfHealthyDraws is SecondHalfDraws restricted to the chains that
+// were not quarantined — the rectangular draw set inference should use
+// after a partial fault.
+func (r *Result) SecondHalfHealthyDraws() [][][]float64 {
+	healthy := r.HealthyChains()
+	out := make([][][]float64, len(healthy))
+	for i, c := range healthy {
+		n := r.Iterations
+		if cn := c.Samples.Len(); cn < n {
+			n = cn
+		}
+		out[i] = c.Samples.RowsRange(n/2, n)
+	}
+	return out
 }
 
 // Draws returns draws[c][i] for all chains, truncated to the executed
@@ -325,6 +404,13 @@ type stepper interface {
 	StepSize() float64
 	// Divergent reports whether the last step diverged.
 	Divergent() bool
+	// snapshot writes the sampler's complete adaptive state into dst
+	// (checkpointing; called between iterations only).
+	snapshot(dst *SamplerState)
+	// restore rebuilds the sampler from a snapshot, replacing Init: it
+	// consumes no randomness and leaves the sampler bit-identical to the
+	// one the snapshot was taken from.
+	restore(src *SamplerState)
 }
 
 // newStepper builds the configured sampler for one chain.

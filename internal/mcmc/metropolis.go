@@ -51,10 +51,16 @@ func (s *mhSampler) Step() (float64, int64) {
 		s.prop[i] = s.q[i] + s.scale*s.r.Norm()
 	}
 	lpProp := s.target.LogDensity(s.prop) // line 5: likelihood x prior
-	logR := lpProp - s.lp
 	accept := 0.0
-	// u ~ uniform(0,1); accept if u < min{r, 1}  (lines 6-7).
-	if logR >= 0 || math.Log(s.r.Float64OO()) < logR {
+	if math.IsNaN(lpProp) || math.IsInf(lpProp, 1) {
+		// Explicitly reject non-finite proposals: a NaN log density must
+		// not reach the acceptance test (NaN comparisons happen to
+		// reject, but relying on that hides the event) or the scale
+		// adaptation below. Burn the uniform so the rejection consumes
+		// the same randomness as any other rejected proposal.
+		_ = s.r.Float64OO()
+	} else if logR := lpProp - s.lp; logR >= 0 || math.Log(s.r.Float64OO()) < logR {
+		// u ~ uniform(0,1); accept if u < min{r, 1}  (lines 6-7).
 		copy(s.q, s.prop)
 		s.lp = lpProp
 		accept = 1
@@ -78,3 +84,27 @@ func (s *mhSampler) EndWarmup()          {}
 func (s *mhSampler) AcceptStat() float64 { return s.lastAccept }
 func (s *mhSampler) StepSize() float64   { return s.scale }
 func (s *mhSampler) Divergent() bool     { return false }
+
+func (s *mhSampler) snapshot(dst *SamplerState) {
+	*dst = SamplerState{
+		RNG:         s.r.State(),
+		Q:           append([]float64(nil), s.q...),
+		LogP:        s.lp,
+		Iter:        s.iter,
+		LastAccept:  s.lastAccept,
+		Scale:       s.scale,
+		AcceptCount: s.acceptCount,
+		AdaptCount:  s.adaptCount,
+	}
+}
+
+func (s *mhSampler) restore(src *SamplerState) {
+	s.r.Restore(src.RNG)
+	copy(s.q, src.Q)
+	s.lp = src.LogP
+	s.iter = src.Iter
+	s.lastAccept = src.LastAccept
+	s.scale = src.Scale
+	s.acceptCount = src.AcceptCount
+	s.adaptCount = src.AdaptCount
+}

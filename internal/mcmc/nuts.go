@@ -138,7 +138,11 @@ func (s *nutsSampler) buildTree(st *treeState, logU float64, dir float64, depth 
 		var res buildResult
 		res.work = 1
 		res.nAlpha = 1
-		if math.IsNaN(joint) {
+		if math.IsNaN(lp) || math.IsNaN(joint) {
+			// Explicit non-finite rejection: a NaN density or kinetic
+			// energy marks the frontier state divergent (joint → -Inf
+			// fails both the slice test and the divergence check below)
+			// instead of leaking NaN into the multinomial weights.
 			joint = math.Inf(-1)
 		}
 		a := math.Exp(math.Min(0, joint-joint0))
@@ -261,6 +265,10 @@ func (s *nutsSampler) adapt(accept float64) {
 	if s.iter >= s.warmup {
 		return
 	}
+	if math.IsNaN(accept) {
+		// Same guard as HMC: never let NaN into the dual-averaging state.
+		accept = 0
+	}
 	s.eps = s.da.update(accept)
 	if !s.noMass {
 		if s.sched.inSlowWindow(s.iter) {
@@ -285,3 +293,36 @@ func (s *nutsSampler) EndWarmup() {
 func (s *nutsSampler) AcceptStat() float64 { return s.lastAccept }
 func (s *nutsSampler) StepSize() float64   { return s.eps }
 func (s *nutsSampler) Divergent() bool     { return s.divergent }
+
+func (s *nutsSampler) snapshot(dst *SamplerState) {
+	*dst = SamplerState{
+		RNG:         s.r.State(),
+		Q:           append([]float64(nil), s.q...),
+		Grad:        append([]float64(nil), s.grad...),
+		LogP:        s.lp,
+		Iter:        s.iter,
+		LastAccept:  s.lastAccept,
+		StepSize:    s.eps,
+		InvMass:     append([]float64(nil), s.ham.invMass...),
+		DualAvg:     s.da.state(),
+		WelfordN:    s.wf.n,
+		WelfordMean: append([]float64(nil), s.wf.mean...),
+		WelfordM2:   append([]float64(nil), s.wf.m2...),
+	}
+}
+
+func (s *nutsSampler) restore(src *SamplerState) {
+	s.r.Restore(src.RNG)
+	copy(s.q, src.Q)
+	copy(s.grad, src.Grad)
+	s.lp = src.LogP
+	s.iter = src.Iter
+	s.lastAccept = src.LastAccept
+	s.eps = src.StepSize
+	copy(s.ham.invMass, src.InvMass)
+	s.da = newDualAveraging(src.StepSize, s.daTA)
+	s.da.restoreState(src.DualAvg)
+	s.wf.n = src.WelfordN
+	copy(s.wf.mean, src.WelfordMean)
+	copy(s.wf.m2, src.WelfordM2)
+}

@@ -1,0 +1,78 @@
+package mcmc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDivergenceStormQuarantine: a chain that diverges every iteration
+// (NUTS on an everywhere--Inf density diverges by construction) trips the
+// consecutive-divergence limit and is quarantined with a typed fault at
+// exactly the limit.
+func TestDivergenceStormQuarantine(t *testing.T) {
+	const limit = 5
+	res := Run(Config{Chains: 2, Iterations: 50, Sampler: NUTS, Seed: 11,
+		MaxConsecutiveDivergences: limit},
+		func() Target { return rejectAll{} })
+	if len(res.Faults()) != 2 {
+		t.Fatalf("expected both chains quarantined, got %d faults", len(res.Faults()))
+	}
+	for c, ch := range res.Chains {
+		f := ch.Fault
+		if f == nil || f.Kind != FaultDivergenceStorm {
+			t.Fatalf("chain %d: fault %+v, want divergence storm", c, f)
+		}
+		if f.Iteration != limit || ch.Samples.Len() != limit {
+			t.Errorf("chain %d: quarantined at %d with %d draws, want %d",
+				c, f.Iteration, ch.Samples.Len(), limit)
+		}
+		if !strings.Contains(f.Msg, "consecutive divergent") {
+			t.Errorf("chain %d: fault message %q", c, f.Msg)
+		}
+	}
+	// All chains faulted: the aligned count is what every chain retained.
+	if res.Iterations != limit {
+		t.Errorf("Iterations = %d, want %d", res.Iterations, limit)
+	}
+	if len(res.HealthyChains()) != 0 {
+		t.Errorf("no chain should be healthy")
+	}
+	// The storm limit is off by default: the same run without it completes.
+	ok := Run(Config{Chains: 2, Iterations: 50, Sampler: NUTS, Seed: 11},
+		func() Target { return rejectAll{} })
+	if len(ok.Faults()) != 0 || ok.Iterations != 50 {
+		t.Errorf("unlimited run: %d faults, %d iterations", len(ok.Faults()), ok.Iterations)
+	}
+}
+
+// TestQuarantineStopsCheckpoints: once a chain faults, no further
+// checkpoints may be captured — the last one is the most recent
+// all-healthy state a retry can resume from.
+func TestQuarantineStopsCheckpoints(t *testing.T) {
+	var cks []*Checkpoint
+	res := Run(Config{Chains: 2, Iterations: 100, Sampler: HMC, Seed: 4,
+		CheckpointEvery: 10, CheckpointSink: collectSink(&cks),
+		FaultHook: func(chain, iter int) FaultAction {
+			if chain == 1 && iter == 35 {
+				return FaultActNonFinite
+			}
+			return FaultActNone
+		}},
+		func() Target { return newGaussian() })
+	if f := res.Chains[1].Fault; f == nil || f.Kind != FaultNonFinite || f.Iteration != 35 {
+		t.Fatalf("chain 1 fault: %+v", f)
+	}
+	if res.Chains[0].Fault != nil || res.Chains[0].Samples.Len() != 100 {
+		t.Fatalf("survivor: fault %+v len %d", res.Chains[0].Fault, res.Chains[0].Samples.Len())
+	}
+	if len(cks) != 3 {
+		t.Fatalf("expected checkpoints at 10,20,30 only, got %d", len(cks))
+	}
+	if last := cks[len(cks)-1].Iteration; last != 30 {
+		t.Errorf("last checkpoint at %d, want 30", last)
+	}
+	// Surviving chains define the aligned count.
+	if res.Iterations != 100 {
+		t.Errorf("Iterations = %d, want 100", res.Iterations)
+	}
+}

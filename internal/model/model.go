@@ -58,6 +58,13 @@ type Evaluator struct {
 	// hardware model uses it as the per-evaluation working-set proxy.
 	TapeNodes int
 	TapeEdges int
+
+	// LastNonFinite records the most recent non-finite event the evaluator
+	// converted into a -Inf rejection: which kernel produced it and at
+	// which parameter index. It is diagnostic state, not an error return —
+	// sampling proceeds (the proposal is rejected) — but the fault layers
+	// above can surface it instead of reporting an anonymous NaN.
+	LastNonFinite *ad.ErrNonFinite
 }
 
 // NewEvaluator returns an Evaluator for m with a fresh tape.
@@ -79,14 +86,15 @@ func (e *Evaluator) LogDensityGrad(q, grad []float64) (lp float64) {
 	e.GradEvals++
 	defer func() {
 		if r := recover(); r != nil {
-			if r == ad.ErrIndefinite {
-				lp = math.Inf(-1)
-				for i := range grad {
-					grad[i] = 0
-				}
-				return
+			if nf, ok := r.(*ad.ErrNonFinite); ok {
+				e.LastNonFinite = nf
+			} else if r != ad.ErrIndefinite {
+				panic(r)
 			}
-			panic(r)
+			lp = math.Inf(-1)
+			for i := range grad {
+				grad[i] = 0
+			}
 		}
 	}()
 	e.tape.Reset()
@@ -96,6 +104,7 @@ func (e *Evaluator) LogDensityGrad(q, grad []float64) (lp float64) {
 	e.TapeEdges = e.tape.EdgeLen()
 	lp = out.Value()
 	if math.IsNaN(lp) {
+		e.LastNonFinite = &ad.ErrNonFinite{Op: e.Model.Name(), Index: -1, Value: lp}
 		lp = math.Inf(-1)
 		for i := range grad {
 			grad[i] = 0
@@ -103,14 +112,11 @@ func (e *Evaluator) LogDensityGrad(q, grad []float64) (lp float64) {
 		return lp
 	}
 	e.tape.Grad(out, grad)
-	for i, g := range grad {
-		if math.IsNaN(g) || math.IsInf(g, 0) {
-			_ = i
-			lp = math.Inf(-1)
-			for j := range grad {
-				grad[j] = 0
-			}
-			return lp
+	if err := ad.CheckFinite(e.Model.Name(), lp, grad); err != nil {
+		e.LastNonFinite = err
+		lp = math.Inf(-1)
+		for i := range grad {
+			grad[i] = 0
 		}
 	}
 	return lp
@@ -122,11 +128,12 @@ func (e *Evaluator) LogDensity(q []float64) (lp float64) {
 	e.DensEvals++
 	defer func() {
 		if r := recover(); r != nil {
-			if r == ad.ErrIndefinite {
-				lp = math.Inf(-1)
-				return
+			if nf, ok := r.(*ad.ErrNonFinite); ok {
+				e.LastNonFinite = nf
+			} else if r != ad.ErrIndefinite {
+				panic(r)
 			}
-			panic(r)
+			lp = math.Inf(-1)
 		}
 	}()
 	e.tape.Reset()
@@ -136,6 +143,7 @@ func (e *Evaluator) LogDensity(q []float64) (lp float64) {
 	e.TapeEdges = e.tape.EdgeLen()
 	lp = out.Value()
 	if math.IsNaN(lp) {
+		e.LastNonFinite = &ad.ErrNonFinite{Op: e.Model.Name(), Index: -1, Value: lp}
 		return math.Inf(-1)
 	}
 	return lp

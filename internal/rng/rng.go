@@ -60,6 +60,31 @@ func (r *RNG) Split() *RNG {
 	return New(seed ^ 0xd1b54a32d192ed03)
 }
 
+// State is a snapshot of a generator's complete internal state: the four
+// xoshiro256** words plus the cached Box-Muller spare. Capturing and
+// restoring a State mid-stream is exact — the restored generator produces
+// bit-identical output to the original from that point on, which is what
+// makes checkpoint/resume of a Markov chain reproducible draw-for-draw.
+type State struct {
+	S        [4]uint64
+	HasSpare bool
+	Spare    float64
+}
+
+// State returns a snapshot of the generator's current state.
+func (r *RNG) State() State {
+	return State{S: r.s, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// Restore rewinds (or fast-forwards) the generator to a previously
+// captured state. The generator's subsequent output is bit-identical to
+// the one the state was captured from.
+func (r *RNG) Restore(st State) {
+	r.s = st.S
+	r.hasSpare = st.HasSpare
+	r.spare = st.Spare
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -17,6 +17,8 @@ import (
 //	DELETE /v1/jobs/{id}       cancel                 → 202 JobStatus
 //	GET    /v1/stats           service statistics     → 200 Stats
 //	GET    /v1/workloads       registry names         → 200 []string
+//	GET    /healthz            liveness               → 200 always
+//	GET    /readyz             readiness              → 200, 503 draining
 //
 // Error mapping: bad spec → 400, unknown job → 404, result not ready or
 // cancel of a finished job → 409, queue full → 429 (with Retry-After),
@@ -30,6 +32,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -122,4 +126,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, workloads.Names())
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It stays
+// 200 through a drain so orchestrators don't kill a server mid-drain.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether the server accepts new jobs. It
+// flips to 503 the moment a drain begins, steering traffic away while
+// in-flight jobs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

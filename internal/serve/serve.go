@@ -27,6 +27,8 @@ import (
 //
 //	queued → running → done | failed | canceled
 //	queued → canceled                      (cancel or drain before start)
+//	running → retrying → queued            (all chains faulted; backoff)
+//	retrying → canceled                    (cancel or drain before retry)
 type JobState string
 
 const (
@@ -34,9 +36,13 @@ const (
 	Queued JobState = "queued"
 	// Running: a worker is sampling.
 	Running JobState = "running"
+	// Retrying: every chain faulted; the job is waiting out its backoff
+	// before re-entering the queue to resume from its last checkpoint.
+	Retrying JobState = "retrying"
 	// Done: completed (converged or budget exhausted).
 	Done JobState = "done"
-	// Failed: terminated abnormally (bad spec discovered late, timeout).
+	// Failed: terminated abnormally (bad spec discovered late, timeout,
+	// worker panic, or fault retries exhausted).
 	Failed JobState = "failed"
 	// Canceled: canceled by the client or by server drain.
 	Canceled JobState = "canceled"
@@ -96,6 +102,24 @@ type PlacementDecision struct {
 	Reason string `json:"reason"`
 }
 
+// ChainFaultInfo is one quarantined chain's fault record, as reported
+// over the API (the wire form of mcmc.ChainFault; stack traces stay
+// server-side).
+type ChainFaultInfo struct {
+	Chain     int    `json:"chain"`
+	Kind      string `json:"kind"`
+	Iteration int    `json:"iteration"`
+	Msg       string `json:"msg"`
+}
+
+func faultInfos(faults []mcmc.ChainFault) []ChainFaultInfo {
+	out := make([]ChainFaultInfo, len(faults))
+	for i, f := range faults {
+		out[i] = ChainFaultInfo{Chain: f.Chain, Kind: f.Kind.String(), Iteration: f.Iteration, Msg: f.Msg}
+	}
+	return out
+}
+
 // JobStatus is a point-in-time snapshot of a job, safe to marshal.
 type JobStatus struct {
 	ID    string   `json:"id"`
@@ -106,6 +130,13 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Attempts counts sampling attempts so far (1 after the first run
+	// starts). NextRetryAt is set while the job is Retrying.
+	Attempts    int        `json:"attempts,omitempty"`
+	NextRetryAt *time.Time `json:"next_retry_at,omitempty"`
+	// ChainFaults lists the quarantined chains of the most recent attempt.
+	ChainFaults []ChainFaultInfo `json:"chain_faults,omitempty"`
 
 	// Progress is the iteration every chain has completed, out of Budget.
 	Progress int `json:"progress"`
@@ -151,6 +182,9 @@ type ResultPayload struct {
 	MaxRHat    float64        `json:"max_rhat"`
 	WorkEvals  int64          `json:"work_evals"`
 	Summaries  []ParamSummary `json:"summaries"`
+	// ChainFaults lists chains quarantined during the run; when non-empty
+	// the summaries cover only the surviving chains.
+	ChainFaults []ChainFaultInfo `json:"chain_faults,omitempty"`
 }
 
 // PlatformStats is one simulated platform's live accounting.
@@ -168,9 +202,18 @@ type Stats struct {
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
 	Running    int `json:"running"`
+	Retrying   int `json:"retrying"`
 	Done       int `json:"done"`
 	Failed     int `json:"failed"`
 	Canceled   int `json:"canceled"`
+
+	// Fault and retry accounting, cumulative since server start:
+	// ChainFaults counts quarantined chains across all runs, Retries
+	// counts fault-triggered re-executions, and PanicsRecovered counts
+	// worker-level panics converted into job failure records.
+	ChainFaults     int64 `json:"chain_faults"`
+	Retries         int64 `json:"retries"`
+	PanicsRecovered int64 `json:"panics_recovered"`
 
 	Platforms []PlatformStats `json:"platforms"`
 
@@ -213,6 +256,16 @@ type Job struct {
 	cancelCause     string
 	cancelRun       func() // cancels the running sampler's context
 
+	// Fault/retry state. attempts counts sampling attempts started;
+	// checkpoint is the most recent all-healthy snapshot (what a retry
+	// resumes from); faults records the latest attempt's quarantined
+	// chains; retryTimer/nextRetry are live only in the Retrying state.
+	attempts   int
+	checkpoint *mcmc.Checkpoint
+	faults     []mcmc.ChainFault
+	retryTimer *time.Timer
+	nextRetry  time.Time
+
 	result    *mcmc.Result
 	summaries []ParamSummary
 	maxRHat   float64
@@ -242,6 +295,14 @@ func (j *Job) Status() JobStatus {
 		Interrupted:     j.interrupted,
 		SavedIterations: j.savedIters,
 		SavedJoules:     j.savedJoules,
+		Attempts:        j.attempts,
+	}
+	if j.state == Retrying && !j.nextRetry.IsZero() {
+		t := j.nextRetry
+		st.NextRetryAt = &t
+	}
+	if len(j.faults) > 0 {
+		st.ChainFaults = faultInfos(j.faults)
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -278,6 +339,9 @@ func (j *Job) Result() (ResultPayload, bool) {
 		Budget:    j.budget,
 		MaxRHat:   j.maxRHat,
 		Summaries: append([]ParamSummary(nil), j.summaries...),
+	}
+	if len(j.faults) > 0 {
+		p.ChainFaults = faultInfos(j.faults)
 	}
 	if j.result != nil {
 		p.Iterations = j.result.Iterations

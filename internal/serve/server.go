@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bayessuite/internal/diag"
@@ -14,6 +16,7 @@ import (
 	"bayessuite/internal/mcmc"
 	"bayessuite/internal/model"
 	"bayessuite/internal/perf"
+	"bayessuite/internal/rng"
 	"bayessuite/internal/sched"
 	"bayessuite/internal/workloads"
 )
@@ -51,6 +54,21 @@ type Config struct {
 	// switches the server to frequency-first placement instead of
 	// trusting a degenerate slope.
 	CalibrationPoints []sched.Point
+
+	// CheckpointEvery is the sampling checkpoint cadence in iterations
+	// (default 50, matching the R̂ check interval). A faulted job loses at
+	// most this much per-chain work on retry.
+	CheckpointEvery int
+	// MaxRetries bounds fault-triggered re-executions per job (default 2;
+	// -1 disables retries). Retries fire only when every chain of a run
+	// was quarantined — a partial fault still yields a usable result over
+	// the surviving chains.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry (default
+	// 50ms); it doubles per attempt, capped at RetryMaxBackoff (default
+	// 2s), with deterministic ±25% jitter derived from the job seed.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +77,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = 2
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 50
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.RetryMaxBackoff == 0 {
+		c.RetryMaxBackoff = 2 * time.Second
 	}
 	return c
 }
@@ -75,6 +108,11 @@ type Server struct {
 	queue chan *Job
 	wg    sync.WaitGroup
 
+	// Cumulative fault/retry counters (see Stats).
+	chainFaults atomic.Int64
+	retries     atomic.Int64
+	panics      atomic.Int64
+
 	mu       sync.Mutex
 	draining bool
 	seq      int
@@ -85,6 +123,10 @@ type Server struct {
 	// job and before sampling starts. Test hook: lets the queue tests
 	// hold a worker busy deterministically.
 	beforeRun func(*Job)
+	// injectFaultHook, when non-nil, supplies the mcmc fault hook for a
+	// job's sampling run (attempt is 1-based). Test hook: drives the
+	// serve-layer fault matrix deterministically.
+	injectFaultHook func(job *Job, attempt int) func(chain, iter int) mcmc.FaultAction
 }
 
 // NewServer builds the server, fits the predictor if calibration points
@@ -221,7 +263,8 @@ func (s *Server) Job(id string) (*Job, error) {
 
 // Cancel cancels a job. Queued jobs transition to Canceled immediately
 // (the worker skips them when popped); running jobs have their sampling
-// context canceled and finalize with the draws completed so far.
+// context canceled and finalize with the draws completed so far; jobs
+// awaiting a retry have their backoff timer stopped and cancel in place.
 func (s *Server) Cancel(id string) (JobStatus, error) {
 	job, err := s.Job(id)
 	if err != nil {
@@ -232,6 +275,17 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	case job.state == Queued:
 		job.cancelRequested = true
 		job.cancelCause = "canceled by client while queued"
+		job.errMsg = job.cancelCause
+		job.state = Canceled
+		job.finished = time.Now()
+		close(job.done)
+	case job.state == Retrying:
+		job.cancelRequested = true
+		job.cancelCause = "canceled by client while awaiting retry"
+		if job.retryTimer != nil {
+			job.retryTimer.Stop()
+			job.retryTimer = nil
+		}
 		job.errMsg = job.cancelCause
 		job.state = Canceled
 		job.finished = time.Now()
@@ -253,9 +307,11 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 }
 
 // Shutdown drains the server: admission stops, jobs still queued are
-// canceled, and jobs already running complete normally. If ctx expires
-// first, running jobs are canceled (finalizing with partial results) and
-// Shutdown still waits for the workers before returning ctx's error.
+// canceled, jobs waiting out a retry backoff are canceled (their timers
+// stopped, so drain never waits on a backoff), and jobs already running
+// complete normally. If ctx expires first, running jobs are canceled
+// (finalizing with partial results) and Shutdown still waits for the
+// workers before returning ctx's error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -263,6 +319,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+
+	// Abandon pending retries: a Retrying job holds no worker, so the
+	// WaitGroup below would not cover it and its timer would fire into a
+	// closed queue. (A timer that already fired races harmlessly —
+	// requeue re-checks the state and draining flag.)
+	for _, job := range s.snapshot() {
+		job.mu.Lock()
+		if job.state == Retrying {
+			if job.retryTimer != nil {
+				job.retryTimer.Stop()
+				job.retryTimer = nil
+			}
+			job.state = Canceled
+			job.errMsg = "canceled: server draining with retry pending"
+			job.finished = time.Now()
+			close(job.done)
+		}
+		job.mu.Unlock()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -318,9 +393,12 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 
 	st := Stats{
-		QueueCap:      s.cfg.QueueCap,
-		Draining:      draining,
-		PredictorNote: s.predNote,
+		QueueCap:        s.cfg.QueueCap,
+		Draining:        draining,
+		PredictorNote:   s.predNote,
+		ChainFaults:     s.chainFaults.Load(),
+		Retries:         s.retries.Load(),
+		PanicsRecovered: s.panics.Load(),
 	}
 	if s.pred != nil {
 		st.PredictorThresholdKB = s.pred.ThresholdKB
@@ -342,6 +420,8 @@ func (s *Server) Stats() Stats {
 			st.QueueDepth++
 		case Running:
 			st.Running++
+		case Retrying:
+			st.Retrying++
 		case Done:
 			st.Done++
 		case Failed:
@@ -436,8 +516,22 @@ func (t *traceRule) ShouldStop(chains []*mcmc.Samples, iter int) bool {
 }
 
 // runJob executes one claimed job end to end: placement, sampling with
-// live progress and convergence tracking, then finalization.
+// live progress and convergence tracking, then finalization. Any panic
+// escaping the job (a buggy workload kernel outside the samplers'
+// per-chain recovery, a summarization bug) is converted into the job's
+// failure record instead of crashing the worker pool.
 func (s *Server) runJob(job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.finalizeFailed(job, fmt.Sprintf("worker panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	s.runJobLocked(job)
+}
+
+// runJobLocked is runJob minus the panic barrier.
+func (s *Server) runJobLocked(job *Job) {
 	s.mu.Lock()
 	draining := s.draining
 	hook := s.beforeRun
@@ -460,6 +554,9 @@ func (s *Server) runJob(job *Job) {
 	// even though sampling starts a few steps later.
 	job.state = Running
 	job.started = time.Now()
+	job.attempts++
+	attempt := job.attempts
+	resume := job.checkpoint // non-nil on retry: last all-healthy snapshot
 	job.mu.Unlock()
 
 	if hook != nil {
@@ -515,13 +612,48 @@ func (s *Server) runJob(job *Job) {
 			job.progress = done
 			job.mu.Unlock()
 		},
+		// Checkpoint so an all-chains fault can retry from the last
+		// all-healthy snapshot instead of iteration zero.
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		CheckpointSink: func(ck *mcmc.Checkpoint) {
+			job.mu.Lock()
+			job.checkpoint = ck
+			job.mu.Unlock()
+		},
+		ResumeFrom: resume,
+	}
+	if s.injectFaultHook != nil {
+		cfg.FaultHook = s.injectFaultHook(job, attempt)
 	}
 	res := mcmc.RunContext(ctx, cfg, func() mcmc.Target { return model.NewEvaluator(w.Model) })
 
+	faults := res.Faults()
+	if len(faults) > 0 {
+		s.chainFaults.Add(int64(len(faults)))
+	}
+	job.mu.Lock()
+	job.faults = faults // always: a clean retry clears the prior attempt's faults
+	job.mu.Unlock()
+	if len(faults) > 0 && len(res.HealthyChains()) == 0 && !res.Interrupted {
+		// Every chain was quarantined: nothing usable came out of this
+		// attempt. Retry from the last all-healthy checkpoint if the
+		// budget allows, otherwise surface the faults as a failure.
+		if s.maybeRetry(job, faults) {
+			return
+		}
+		last := faults[len(faults)-1]
+		s.finalizeFaulted(job, res, fmt.Sprintf(
+			"all %d chains faulted after %d attempt(s); last: %s",
+			len(faults), attempt, last.Error()))
+		return
+	}
+
 	var sums []ParamSummary
 	maxR := 0.0
-	if res.Iterations >= 4 {
-		draws := res.SecondHalfDraws()
+	if res.Iterations >= 4 && len(res.HealthyChains()) > 0 {
+		// Summaries and convergence are computed over the healthy chains
+		// only — quarantined prefixes would bias both.
+		draws := res.SecondHalfHealthyDraws()
 		var names []string
 		if c, ok := w.Model.(model.Constrainer); ok {
 			names = c.ConstrainedNames()
@@ -580,6 +712,134 @@ func (s *Server) finalizeFailed(job *Job, msg string) {
 		return
 	}
 	job.state = Failed
+	job.errMsg = msg
+	job.finished = time.Now()
+	close(job.done)
+}
+
+// finalizeFaulted fails a job whose every chain was quarantined with no
+// retry budget left, keeping the partial result (the retained prefixes
+// and fault records) inspectable via /result.
+func (s *Server) finalizeFaulted(job *Job, res *mcmc.Result, msg string) {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.state.Terminal() {
+		return
+	}
+	job.result = res
+	job.progress = res.Iterations
+	job.state = Failed
+	if job.cancelRequested { // a cancel raced the run's own collapse
+		job.state = Canceled
+		job.errMsg = job.cancelCause
+	} else {
+		job.errMsg = msg
+	}
+	job.finished = time.Now()
+	job.cancelRun = nil
+	close(job.done)
+}
+
+// maybeRetry arms a backoff retry for a job whose every chain faulted.
+// It returns false — the caller then finalizes the job as failed — when
+// retries are exhausted or disabled, the job was canceled mid-run, or
+// the server is draining. s.mu is taken before job.mu so arming a retry
+// cannot race Shutdown's queue close: a timer armed here is visible to
+// the drain loop, and a drain in progress refuses the retry.
+func (s *Server) maybeRetry(job *Job, faults []mcmc.ChainFault) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.cancelRequested || job.attempts > s.cfg.MaxRetries {
+		return false
+	}
+	s.retries.Add(1)
+	delay := retryDelay(s.cfg, job.spec.Seed, job.attempts)
+	resumeAt := 0
+	if job.checkpoint != nil {
+		resumeAt = job.checkpoint.Iteration
+	}
+	// Trim the R̂ trace back to the resume point: later entries belong to
+	// iterations the retry will re-execute.
+	trim := 0
+	for trim < len(job.rhat) && job.rhat[trim].Iteration <= resumeAt {
+		trim++
+	}
+	job.rhat = job.rhat[:trim]
+	job.progress = resumeAt
+	last := faults[len(faults)-1]
+	job.errMsg = fmt.Sprintf("attempt %d: all %d chains faulted (last: %s); retrying from iteration %d",
+		job.attempts, len(faults), last.Error(), resumeAt)
+	job.state = Retrying
+	job.nextRetry = time.Now().Add(delay)
+	job.retryTimer = time.AfterFunc(delay, func() { s.requeue(job) })
+	job.cancelRun = nil
+	return true
+}
+
+// retryDelay is the capped exponential backoff before the attempt-th
+// retry, with deterministic ±25% jitter derived from the job seed so
+// retry schedules are reproducible per job yet decorrelated across jobs.
+func retryDelay(cfg Config, seed uint64, attempt int) time.Duration {
+	d := cfg.RetryBackoff
+	for i := 1; i < attempt && d < cfg.RetryMaxBackoff; i++ {
+		d *= 2
+	}
+	if d > cfg.RetryMaxBackoff {
+		d = cfg.RetryMaxBackoff
+	}
+	r := rng.New(seed ^ 0x9e3779b97f4a7c15*uint64(attempt))
+	return time.Duration(float64(d) * (0.75 + 0.5*r.Float64()))
+}
+
+// requeue moves a Retrying job back into the admission queue when its
+// backoff expires (called from the retry timer).
+func (s *Server) requeue(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		// The timer raced the drain loop; finish the abandonment here.
+		s.abandonRetry(job, "canceled: server draining with retry pending")
+		return
+	}
+	job.mu.Lock()
+	if job.state != Retrying { // canceled while waiting out the backoff
+		job.mu.Unlock()
+		return
+	}
+	job.state = Queued
+	job.retryTimer = nil
+	job.nextRetry = time.Time{}
+	job.mu.Unlock()
+	select {
+	case s.queue <- job: // safe under s.mu: Shutdown closes queue under s.mu
+	default:
+		// Queue full. The bound is admission backpressure; a retry must
+		// neither evict nor block a worker, so back off again.
+		job.mu.Lock()
+		if job.state == Queued { // no cancel raced the brief unlock
+			job.state = Retrying
+			job.nextRetry = time.Now().Add(s.cfg.RetryBackoff)
+			job.retryTimer = time.AfterFunc(s.cfg.RetryBackoff, func() { s.requeue(job) })
+		}
+		job.mu.Unlock()
+	}
+}
+
+// abandonRetry cancels a job stuck in Retrying when its retry can no
+// longer run. Caller holds s.mu.
+func (s *Server) abandonRetry(job *Job, msg string) {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.state != Retrying {
+		return
+	}
+	job.retryTimer = nil
+	job.state = Canceled
 	job.errMsg = msg
 	job.finished = time.Now()
 	close(job.done)
