@@ -38,7 +38,10 @@ race:
 # Deterministic fault-injection matrix under the race detector: every
 # sampler crossed with every injectable fault kind (panic, non-finite,
 # slow iteration, cancel), plus the checkpoint/resume and quarantine
-# suites and the serve-layer retry tests they feed.
+# suites and the serve-layer retry tests they feed. Includes the
+# batched-lockstep column (TestFaultMatrixBatched): faults injected while
+# chains share fused gradient sweeps must quarantine identically, with
+# bit-identical draws and checkpoint-resume replay on the batched path.
 fault-matrix:
 	$(GO) test -race -run 'Fault|Checkpoint|Quarantine|Retry|Resume|Injector' \
 		./internal/fault/... ./internal/mcmc/... ./internal/serve/...
@@ -56,7 +59,9 @@ bench-runner:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-# Regenerate BENCH_2.json: fused-kernel vs legacy-tape gradient cost
-# (ns/iter, allocs/op, speedup) for every kernel-backed workload.
+# Regenerate BENCH_2.json (fused-kernel vs legacy-tape gradient cost for
+# every kernel-backed workload) and BENCH_5.json (cross-chain gradient
+# batching: fused multi-chain sweeps vs per-chain evaluation, gradient
+# layer and end-to-end lockstep, with the bytes-streamed traffic proxy).
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_2.json
+	$(GO) run ./cmd/benchjson -o BENCH_2.json -o5 BENCH_5.json

@@ -8,13 +8,19 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_2.json] [-scale 1.0] [-benchtime 1s]
+//	benchjson [-o BENCH_2.json] [-o5 BENCH_5.json] [-scale 1.0] [-benchtime 1s]
+//
+// Two files come out: BENCH_2.json (fused kernel vs legacy tape, one
+// chain) and BENCH_5.json (cross-chain gradient batching: fused
+// multi-chain sweeps vs independent per-chain evaluation, at the
+// gradient layer and end to end on the lockstep runner).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"testing"
 
@@ -45,7 +51,9 @@ type report struct {
 
 func main() {
 	testing.Init() // registers test.* flags so test.benchtime can be set
-	out := flag.String("o", "BENCH_2.json", "output path")
+	out := flag.String("o", "BENCH_2.json", "kernel-vs-tape output path")
+	out5 := flag.String("o5", "BENCH_5.json", "cross-chain batching output path")
+	lockIters := flag.Int("lockstep-iters", 12, "iterations per end-to-end lockstep run")
 	scale := flag.Float64("scale", 1.0, "workload dataset scale")
 	benchtime := flag.Duration("benchtime", 0, "per-measurement budget (0 = testing default)")
 	flag.Parse()
@@ -70,22 +78,33 @@ func main() {
 	rep.Entries = append(rep.Entries,
 		measure("normal-glm-60k", newNormalGLM(true), newNormalGLM(false)))
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
+	if err := writeJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+
+	rep5 := batchReport(*lockIters)
+	if err := writeJSON(*out5, rep5); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d gradient-layer entries, %d lockstep entries)\n",
+		*out5, len(rep5.GradientLayer), len(rep5.Lockstep))
+}
+
+func writeJSON(path string, v any) error {
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // measure times LogDensityGrad on both paths at a fixed off-origin point.
@@ -129,56 +148,88 @@ const (
 )
 
 type normalGLM struct {
-	y, x  []float64
-	group []int
-	kern  *kernels.NormalIDGLM // nil on the tape path
+	n, p, g int
+	y, x    []float64
+	group   []int
+	kern    *kernels.NormalIDGLM // nil on the tape path
 }
 
 func newNormalGLM(kernel bool) *normalGLM {
+	return newNormalGLMSized(normalGLMN, kernel)
+}
+
+func newNormalGLMSized(n int, kernel bool) *normalGLM {
 	r := rng.New(41)
 	m := &normalGLM{
-		y:     make([]float64, normalGLMN),
-		x:     make([]float64, normalGLMN*normalGLMP),
-		group: make([]int, normalGLMN),
+		n: n, p: normalGLMP, g: normalGLMGroups,
+		y:     make([]float64, n),
+		x:     make([]float64, n*normalGLMP),
+		group: make([]int, n),
 	}
 	beta := []float64{0.6, -0.4}
-	for i := 0; i < normalGLMN; i++ {
+	for i := 0; i < n; i++ {
 		eta := 0.0
-		for j := 0; j < normalGLMP; j++ {
+		for j := 0; j < m.p; j++ {
 			v := r.Norm()
-			m.x[i*normalGLMP+j] = v
+			m.x[i*m.p+j] = v
 			eta += v * beta[j]
 		}
-		gi := i % normalGLMGroups
+		gi := i % m.g
 		m.group[i] = gi
 		eta += 0.3 * float64(gi%7-3)
 		m.y[i] = eta + 0.8*r.Norm()
 	}
 	if kernel {
-		m.kern = kernels.NewNormalIDGLM(m.y, m.x, normalGLMP, nil, m.group, normalGLMGroups)
+		m.kern = kernels.NewNormalIDGLM(m.y, m.x, m.p, nil, m.group, m.g)
 	}
 	return m
 }
 
-func (m *normalGLM) Name() string { return "normal-glm-60k" }
-func (m *normalGLM) Dim() int     { return normalGLMP + normalGLMGroups + 1 }
+func (m *normalGLM) Name() string { return "normal-glm" }
+func (m *normalGLM) Dim() int     { return m.p + m.g + 1 }
 
 func (m *normalGLM) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	return m.logPost(t, q, nil)
+}
+
+func (m *normalGLM) logPost(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
 	b := model.NewBuilder(t)
-	beta := q[:normalGLMP]
-	u := q[normalGLMP : normalGLMP+normalGLMGroups]
-	sigma := b.Positive(q[normalGLMP+normalGLMGroups])
+	beta := q[:m.p]
+	u := q[m.p : m.p+m.g]
+	sigma := b.Positive(q[m.p+m.g])
 	b.Add(dist.NormalLPDFVarData(t, beta, ad.Const(0), ad.Const(5)))
 	b.Add(dist.NormalLPDFVarData(t, u, ad.Const(0), ad.Const(1)))
 	b.Add(dist.HalfCauchyLPDF(t, sigma, 1))
-	if m.kern != nil {
+	switch {
+	case pre != nil:
+		b.Add(m.kern.LogLikPre(t, beta, u, sigma, &pre[0]))
+	case m.kern != nil:
 		b.Add(m.kern.LogLik(t, beta, u, sigma))
-		return b.Result()
+	default:
+		mu := t.ScratchVars(m.n)
+		for i := range mu {
+			mu[i] = t.Add(t.Dot(beta, m.x[i*m.p:(i+1)*m.p]), u[m.group[i]])
+		}
+		b.Add(dist.NormalLPDFVec(t, m.y, mu, sigma))
 	}
-	mu := t.ScratchVars(normalGLMN)
-	for i := range mu {
-		mu[i] = t.Add(t.Dot(beta, m.x[i*normalGLMP:(i+1)*normalGLMP]), u[m.group[i]])
-	}
-	b.Add(dist.NormalLPDFVec(t, m.y, mu, sigma))
 	return b.Result()
+}
+
+// BatchKernels/KernelParams/LogPosteriorPre make the kernel-backed form a
+// model.BatchableModel for the BENCH_5 cross-chain sweep.
+func (m *normalGLM) BatchKernels() []kernels.Batcher {
+	if m.kern == nil {
+		return nil
+	}
+	return []kernels.Batcher{m.kern}
+}
+
+func (m *normalGLM) KernelParams(q []float64, dst [][]float64) {
+	d := dst[0]
+	copy(d[:m.p+m.g], q)
+	d[m.p+m.g] = math.Exp(q[m.p+m.g]) + 0 // Positive = Lower(q, 0): exp then +0
+}
+
+func (m *normalGLM) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	return m.logPost(t, q, pre)
 }

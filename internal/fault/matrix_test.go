@@ -6,7 +6,11 @@ import (
 	"strings"
 	"testing"
 
+	"bayessuite/internal/ad"
+	"bayessuite/internal/kernels"
 	"bayessuite/internal/mcmc"
+	"bayessuite/internal/model"
+	"bayessuite/internal/rng"
 )
 
 // gauss is a small diagonal Gaussian target (the fault matrix cares about
@@ -283,4 +287,136 @@ func TestInjectorDeterminism(t *testing.T) {
 	if n == 0 {
 		t.Fatalf("rate 0.1 over 200 sites never fired")
 	}
+}
+
+// batchGLM is a small batchable normal-identity GLM so the fault matrix
+// can cover the batched-lockstep gradient path: faults injected while
+// chains share fused data sweeps must quarantine exactly as on the
+// per-chain path, with every healthy chain's draws untouched.
+type batchGLM struct {
+	p, g int
+	kern *kernels.NormalIDGLM
+}
+
+func newBatchGLM(seed uint64) *batchGLM {
+	const n, p, g = 400, 2, 5
+	r := rng.New(seed)
+	x := make([]float64, n*p)
+	y := make([]float64, n)
+	grp := make([]int, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	for i := range y {
+		y[i] = r.Norm()
+		grp[i] = r.Intn(g)
+	}
+	return &batchGLM{p: p, g: g, kern: kernels.NewNormalIDGLM(y, x, p, nil, grp, g)}
+}
+
+func (m *batchGLM) Name() string { return "batch-glm-fault" }
+func (m *batchGLM) Dim() int     { return m.p + m.g + 1 }
+
+func (m *batchGLM) logPost(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	b := model.NewBuilder(t)
+	sigma := b.Positive(q[m.p+m.g])
+	b.Add(kernels.NormalDeviations(t, q, ad.Const(0), ad.Const(1)))
+	beta := q[:m.p]
+	u := q[m.p : m.p+m.g]
+	if pre != nil {
+		b.Add(m.kern.LogLikPre(t, beta, u, sigma, &pre[0]))
+	} else {
+		b.Add(m.kern.LogLik(t, beta, u, sigma))
+	}
+	return b.Result()
+}
+
+func (m *batchGLM) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var { return m.logPost(t, q, nil) }
+
+func (m *batchGLM) BatchKernels() []kernels.Batcher { return []kernels.Batcher{m.kern} }
+
+func (m *batchGLM) KernelParams(q []float64, dst [][]float64) {
+	d := dst[0]
+	copy(d[:m.p+m.g], q)
+	d[m.p+m.g] = math.Exp(q[m.p+m.g]) + 0
+}
+
+func (m *batchGLM) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	return m.logPost(t, q, pre)
+}
+
+// TestFaultMatrixBatched extends the matrix with the batched-lockstep
+// column: for the gradient samplers and each quarantining fault kind, a
+// run whose chains coalesce gradients into fused sweeps must (a) produce
+// draws bit-identical to the per-chain lockstep run under the same
+// injection plan — batch membership never perturbs results, even as the
+// faulting chain drops out of the rendezvous mid-run — and (b) replay
+// bit-identically when resumed from the last pre-fault checkpoint on the
+// batched path.
+func TestFaultMatrixBatched(t *testing.T) {
+	for _, kind := range []mcmc.SamplerKind{mcmc.HMC, mcmc.NUTS} {
+		kind := kind
+		for _, fk := range []Kind{Panic, NonFinite} {
+			fk := fk
+			t.Run(kind.String()+"/"+fk.String(), func(t *testing.T) {
+				t.Parallel()
+				testBatchedQuarantine(t, kind, fk)
+			})
+		}
+	}
+}
+
+func testBatchedQuarantine(t *testing.T, kind mcmc.SamplerKind, fk Kind) {
+	m := newBatchGLM(5)
+	run := func(batched bool, resume *mcmc.Checkpoint, sink func(*mcmc.Checkpoint)) *mcmc.Result {
+		cfg := baseConfig(kind)
+		cfg.CheckpointEvery = ckEvery
+		cfg.CheckpointSink = sink
+		cfg.ResumeFrom = resume
+		inj := New(7).Schedule(faultChain, faultIter, fk)
+		cfg.FaultHook = inj.Hook
+		var factory mcmc.TargetFactory
+		if batched {
+			be, ok := model.NewBatchEvaluator(m, chains)
+			if !ok {
+				t.Fatal("batchGLM is not batchable")
+			}
+			cfg.BatchGrad = be.LogDensityGradBatch
+			next := 0
+			factory = func() mcmc.Target {
+				c := next
+				next++
+				return be.Chain(c)
+			}
+		} else {
+			factory = func() mcmc.Target { return model.NewEvaluator(m) }
+		}
+		return mcmc.Run(cfg, factory)
+	}
+
+	ref := run(false, nil, nil)
+	var cks []*mcmc.Checkpoint
+	res := run(true, nil, func(ck *mcmc.Checkpoint) { cks = append(cks, ck) })
+	sameChainDraws(t, "batched vs per-chain faulted run", ref, res)
+
+	f := res.Chains[faultChain].Fault
+	wantKind := mcmc.FaultNonFinite
+	if fk == Panic {
+		wantKind = mcmc.FaultPanic
+	}
+	if f == nil || f.Kind != wantKind || f.Iteration != faultIter {
+		t.Fatalf("batched fault = %+v, want kind %v at iteration %d", f, wantKind, faultIter)
+	}
+	if n := res.Chains[faultChain].Samples.Len(); n != faultIter {
+		t.Errorf("faulted chain retained %d draws, want %d", n, faultIter)
+	}
+	if len(res.HealthyChains()) != chains-1 {
+		t.Errorf("healthy chains %d, want %d", len(res.HealthyChains()), chains-1)
+	}
+
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints captured on the batched run")
+	}
+	replay := run(true, cks[len(cks)-1], nil)
+	sameChainDraws(t, "batched resume replay", res, replay)
 }

@@ -20,6 +20,10 @@ type glmData struct {
 	offset  []float64
 	group   []int
 	nGroups int
+
+	// batch is the grow-only scratch for the fused multi-parameter sweep
+	// (see batch.go); untouched by the single-parameter path.
+	batch glmBatch
 }
 
 func newGLMData(n, p int, x, offset []float64, group []int, nGroups int) glmData {
@@ -180,7 +184,10 @@ func evalGLM(t *ad.Tape, fam glmFamily, d *glmData, yf []float64, valConst float
 
 	betaVals := t.Scratch(p)
 	uVals := t.Scratch(g)
-	acc := t.Scratch(ns * width)
+	// Over-allocate by a cache line and align so each shard's padded row
+	// owns whole lines (see the layout invariant at padWidth) — the tape
+	// arena only guarantees 8-byte alignment.
+	acc := alignRows(t.Scratch(ns*width + accPad))[:ns*width]
 	res := t.Scratch(2 + p + g)
 	for j, b := range beta {
 		betaVals[j] = b.Value()
@@ -199,11 +206,13 @@ func evalGLM(t *ad.Tape, fam glmFamily, d *glmData, yf []float64, valConst float
 	// allocation. The parallel path pays one closure per evaluation.
 	if Parallelism() <= 1 || ns == 1 {
 		for s := 0; s < ns; s++ {
-			glmShard(fam, d, yf, betaVals, uVals, sigInv, acc, width, ns, s)
+			lo, hi := shardRange(n, ns, s)
+			glmShard(fam, d, yf, betaVals, uVals, sigInv, acc[s*width:s*width+width], lo, hi)
 		}
 	} else {
 		runShards(ns, func(s int) {
-			glmShard(fam, d, yf, betaVals, uVals, sigInv, acc, width, ns, s)
+			lo, hi := shardRange(n, ns, s)
+			glmShard(fam, d, yf, betaVals, uVals, sigInv, acc[s*width:s*width+width], lo, hi)
 		})
 	}
 
@@ -242,15 +251,13 @@ func evalGLM(t *ad.Tape, fam glmFamily, d *glmData, yf []float64, valConst float
 // glmShard sweeps observations [lo, hi) of shard s and writes its partial
 // sums into the shard's disjoint accumulator slot
 // acc[s*width : (s+1)*width] = [val, dBeta[p], dU[nGroups], dSigma].
-func glmShard(fam glmFamily, d *glmData, yf []float64, betaVals, uVals []float64, sigInv float64, acc []float64, width, ns, s int) {
+func glmShard(fam glmFamily, d *glmData, yf []float64, betaVals, uVals []float64, sigInv float64, a []float64, lo, hi int) {
 	p, g := d.p, d.nGroups
-	a := acc[s*width : s*width+width]
 	for i := range a {
 		a[i] = 0
 	}
 	dBeta := a[1 : 1+p]
 	dU := a[1+p : 1+p+g]
-	lo, hi := shardRange(d.n, ns, s)
 	var val, dSig float64
 	for i := lo; i < hi; i++ {
 		eta := 0.0

@@ -3,6 +3,7 @@ package kernels
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Sharding geometry. shardTarget is the number of observations a shard
@@ -69,8 +70,32 @@ func shardRange(n, ns, s int) (lo, hi int) {
 }
 
 // padWidth rounds a shard accumulator width up to a cache-line multiple.
+//
+// Accumulator layout invariant (single-eval and batched sweeps alike):
+// every writer owns a row of padWidth(...) float64s — a whole number of
+// 64-byte cache lines — and the block base is cache-line aligned via
+// alignRows. Rows written concurrently (one per shard, or one per
+// (shard, chain) pair in the batched path) therefore never share a line,
+// so shard workers never false-share and never invalidate each other's
+// store buffers. Readers (the sequential in-order reduction) only run
+// after the sweep completes.
 func padWidth(w int) int {
 	return (w + accPad - 1) / accPad * accPad
+}
+
+// alignRows trims the front of buf so its base address sits on a 64-byte
+// cache-line boundary, completing the padWidth invariant above. Callers
+// must over-allocate by accPad floats; the returned slice keeps at least
+// len(buf)-accPad elements. Alignment changes memory placement only,
+// never results.
+func alignRows(buf []float64) []float64 {
+	if len(buf) == 0 {
+		return buf
+	}
+	// float64 slices are 8-byte aligned, so the misalignment is a whole
+	// number of floats in [0, 8).
+	skip := (64 - int(uintptr(unsafe.Pointer(&buf[0]))&63)) / 8 % accPad
+	return buf[skip:]
 }
 
 // runShards executes fn(s) for every shard in [0, ns). With parallelism 1

@@ -1,0 +1,249 @@
+package mcmc
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultCoalesceWait bounds how long a submitted gradient request waits
+// for more chains to join before the waiter fires a partial batch.
+// Because batched results are bit-identical regardless of batch
+// composition (the kernel contract), the timeout affects throughput
+// only — never draws — so it can be aggressive: long enough for
+// leapfrog-aligned HMC chains and same-depth NUTS subtrees to meet,
+// short enough that a straggling deep NUTS trajectory never stalls the
+// others noticeably.
+const defaultCoalesceWait = 200 * time.Microsecond
+
+// gradCoalescer is the per-round rendezvous of the batched lockstep
+// path. Chain workers submit gradient requests instead of evaluating
+// their targets directly; the last expected submitter (or a timed-out
+// waiter, or the final leaver completing the set) executes one fused
+// evaluation for every pending request.
+//
+// Liveness invariants:
+//   - arm() is called by the coordinator between rounds with the round's
+//     active set, so inRound always bounds the number of possible
+//     submitters. Chains that finish their step (or fault) call leave(),
+//     shrinking the expectation — a chain that needs no more gradients
+//     this round can never be waited on.
+//   - A full set (waiting == inRound) fires immediately; otherwise each
+//     waiter re-fires on a bounded timer. Either way no request waits
+//     more than ~wait behind a straggler, and a request can never be
+//     stranded: the last leaver flushes any pending partial batch.
+//   - A panic escaping the fused evaluation wakes every member with NaN
+//     (quarantining them via the runner's non-finite check) before
+//     re-raising on the submitter that ran the batch, so waiters are
+//     never stranded by a fault either.
+type gradCoalescer struct {
+	eval func(qs, grads [][]float64, lps []float64)
+	wait time.Duration
+
+	// armed gates the wrapped targets: before the first lockstep round
+	// (chain Init, step-size search, warmup of a resumed run's restore)
+	// gradient calls pass straight through to the per-chain target.
+	armed atomic.Bool
+
+	mu      sync.Mutex
+	inRound int  // active chains that may still submit this round
+	waiting int  // submitted, not-yet-consumed requests
+	running bool // a fused evaluation is in flight
+	qs      [][]float64
+	grads   [][]float64
+	bqs     [][]float64 // snapshot consumed by the in-flight evaluation
+	bgrads  [][]float64
+	member  []bool
+	lps     []float64 // per-chain results; stable until that chain's next submit
+	wake    []chan struct{}
+	timers  []*time.Timer
+}
+
+func newGradCoalescer(n int, eval func(qs, grads [][]float64, lps []float64), wait time.Duration) *gradCoalescer {
+	co := &gradCoalescer{
+		eval:   eval,
+		wait:   wait,
+		qs:     make([][]float64, n),
+		grads:  make([][]float64, n),
+		bqs:    make([][]float64, n),
+		bgrads: make([][]float64, n),
+		member: make([]bool, n),
+		lps:    make([]float64, n),
+		wake:   make([]chan struct{}, n),
+		timers: make([]*time.Timer, n),
+	}
+	for c := 0; c < n; c++ {
+		co.wake[c] = make(chan struct{}, 1)
+		t := time.NewTimer(time.Hour)
+		if !t.Stop() {
+			<-t.C
+		}
+		co.timers[c] = t
+	}
+	return co
+}
+
+// arm opens a coalescing round over the chains marked active. Called by
+// the coordinator between rounds, when no worker is in flight.
+func (co *gradCoalescer) arm(active []bool) {
+	n := 0
+	for _, a := range active {
+		if a {
+			n++
+		}
+	}
+	co.mu.Lock()
+	co.inRound = n
+	co.mu.Unlock()
+	co.armed.Store(true)
+}
+
+// leave removes chain c from the round once its step completes or
+// faults. If every remaining in-round chain is already waiting, the
+// leaver flushes the batch on their behalf: nobody else can join it.
+func (co *gradCoalescer) leave(c int) {
+	co.mu.Lock()
+	co.inRound--
+	var pv any
+	if co.waiting > 0 && co.waiting == co.inRound && !co.running {
+		pv = co.runBatchLocked(-1)
+	}
+	co.mu.Unlock()
+	_ = pv // a batch fault surfaces on its members as NaN; the leaver's own step already succeeded
+}
+
+// submit hands chain c's gradient request to the rendezvous and blocks
+// until the fused result is available.
+func (co *gradCoalescer) submit(c int, q, grad []float64) float64 {
+	co.mu.Lock()
+	co.qs[c] = q
+	co.grads[c] = grad
+	co.waiting++
+	if co.waiting == co.inRound && !co.running {
+		pv := co.runBatchLocked(c)
+		lp := co.lps[c]
+		co.mu.Unlock()
+		if pv != nil {
+			panic(pv)
+		}
+		return lp
+	}
+	co.mu.Unlock()
+	tm := co.timers[c]
+	tm.Reset(co.wait)
+	for {
+		select {
+		case <-co.wake[c]:
+			if !tm.Stop() {
+				select {
+				case <-tm.C:
+				default:
+				}
+			}
+			return co.lps[c]
+		case <-tm.C:
+			co.mu.Lock()
+			if co.qs[c] == nil {
+				// Consumed by a batch that is completing right now; the
+				// wake signal is imminent.
+				co.mu.Unlock()
+				<-co.wake[c]
+				return co.lps[c]
+			}
+			if !co.running {
+				pv := co.runBatchLocked(c)
+				lp := co.lps[c]
+				co.mu.Unlock()
+				if pv != nil {
+					panic(pv)
+				}
+				return lp
+			}
+			co.mu.Unlock()
+			tm.Reset(co.wait)
+		}
+	}
+}
+
+// runBatchLocked consumes every pending request and executes the fused
+// evaluation with the lock released, re-acquiring it before returning.
+// leader >= 0 marks the calling chain's own request: it is consumed with
+// the rest but the caller reads its result directly instead of being
+// woken. Loops while full sets of requests accumulated during the
+// evaluation (submitters that arrived mid-flight). A panic escaping the
+// evaluation is converted to NaN results for every member — the
+// runner's non-finite check quarantines them — and returned for the
+// leader to re-raise.
+func (co *gradCoalescer) runBatchLocked(leader int) any {
+	for {
+		co.running = true
+		for c, q := range co.qs {
+			if q == nil {
+				co.member[c] = false
+				co.bqs[c] = nil
+				co.bgrads[c] = nil
+				continue
+			}
+			co.member[c] = true
+			co.bqs[c] = q
+			co.bgrads[c] = co.grads[c]
+			co.qs[c] = nil
+			co.grads[c] = nil
+		}
+		co.waiting = 0
+		co.mu.Unlock()
+		var pv any
+		func() {
+			defer func() { pv = recover() }()
+			co.eval(co.bqs, co.bgrads, co.lps)
+		}()
+		if pv != nil {
+			for c, m := range co.member {
+				if m {
+					co.lps[c] = math.NaN()
+				}
+			}
+		}
+		co.mu.Lock()
+		co.running = false
+		for c, m := range co.member {
+			if m && c != leader {
+				co.wake[c] <- struct{}{}
+			}
+		}
+		if pv != nil {
+			return pv
+		}
+		// Requests that arrived during the evaluation: if they already
+		// form a complete set, fire again now — their timers would get
+		// there anyway, this just saves the wait.
+		if co.waiting == 0 || co.waiting != co.inRound {
+			return nil
+		}
+		leader = -1
+	}
+}
+
+// coalescedTarget wraps one chain's target, routing gradient requests
+// through the round rendezvous once armed. Value-only evaluation and
+// everything before the first lockstep round (Init, step-size search,
+// initPoint probing) pass through to the inner target unchanged.
+type coalescedTarget struct {
+	inner Target
+	co    *gradCoalescer
+	c     int
+}
+
+func (t *coalescedTarget) Dim() int { return t.inner.Dim() }
+
+func (t *coalescedTarget) LogDensity(q []float64) float64 {
+	return t.inner.LogDensity(q)
+}
+
+func (t *coalescedTarget) LogDensityGrad(q, grad []float64) float64 {
+	if !t.co.armed.Load() {
+		return t.inner.LogDensityGrad(q, grad)
+	}
+	return t.co.submit(t.c, q, grad)
+}

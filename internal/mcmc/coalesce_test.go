@@ -1,0 +1,350 @@
+package mcmc
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"bayessuite/internal/ad"
+	"bayessuite/internal/kernels"
+	"bayessuite/internal/model"
+	"bayessuite/internal/rng"
+)
+
+// batchedGLMModel is an inline BatchableModel for the coalescer tests: a
+// normal-identity GLM with group effects and a positive noise scale.
+// (The real converted workloads live in internal/workloads, which this
+// package cannot import.)
+type batchedGLMModel struct {
+	norm *kernels.NormalIDGLM
+	p, g int
+}
+
+func newBatchedGLMModel(n, p, g int, seed uint64) *batchedGLMModel {
+	r := rng.New(seed)
+	x := make([]float64, n*p)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	group := make([]int, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		group[i] = i % g
+		e := 0.3 * float64(group[i]%3)
+		for j := 0; j < p; j++ {
+			e += (0.5 - 0.2*float64(j)) * x[i*p+j]
+		}
+		y[i] = e + 0.4*r.Norm()
+	}
+	return &batchedGLMModel{
+		norm: kernels.NewNormalIDGLM(y, x, p, nil, group, g),
+		p:    p, g: g,
+	}
+}
+
+func (m *batchedGLMModel) Name() string { return "batched-glm-test" }
+
+func (m *batchedGLMModel) Dim() int { return m.p + m.g + 1 }
+
+func (m *batchedGLMModel) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	return m.logPost(t, q, nil)
+}
+
+func (m *batchedGLMModel) logPost(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	b := model.NewBuilder(t)
+	sigma := b.Positive(q[m.p+m.g])
+	b.Add(kernels.NormalDeviations(t, q, ad.Const(0), ad.Const(1)))
+	beta := q[:m.p]
+	u := q[m.p : m.p+m.g]
+	if pre != nil {
+		b.Add(m.norm.LogLikPre(t, beta, u, sigma, &pre[0]))
+	} else {
+		b.Add(m.norm.LogLik(t, beta, u, sigma))
+	}
+	return b.Result()
+}
+
+func (m *batchedGLMModel) BatchKernels() []kernels.Batcher {
+	return []kernels.Batcher{m.norm}
+}
+
+func (m *batchedGLMModel) KernelParams(q []float64, dst [][]float64) {
+	d := dst[0]
+	copy(d[:m.p+m.g], q)
+	d[m.p+m.g] = math.Exp(q[m.p+m.g]) + 0
+}
+
+func (m *batchedGLMModel) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	return m.logPost(t, q, pre)
+}
+
+// TestCoalescedLockstepDeterminism is the end-to-end draw-preservation
+// guarantee of the batched gradient path: a parallel lockstep run with
+// the coalescer active must produce draws bit-identical to the same run
+// evaluating each chain independently, for both samplers. HMC chains
+// align naturally (near-full batches); NUTS coalesces opportunistically.
+func TestCoalescedLockstepDeterminism(t *testing.T) {
+	m := newBatchedGLMModel(2000, 2, 6, 97)
+	for _, kind := range []SamplerKind{HMC, NUTS} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			base := Config{
+				Chains: 4, Iterations: 300, Sampler: kind, Seed: 31,
+				StopRule: neverFire{}, Parallel: true,
+			}
+			plain := Run(base, func() Target { return model.NewEvaluator(m) })
+
+			be, ok := model.NewBatchEvaluator(m, base.Chains)
+			if !ok {
+				t.Fatal("model is not batchable")
+			}
+			next := 0
+			cfg := base
+			cfg.BatchGrad = be.LogDensityGradBatch
+			batched := Run(cfg, func() Target {
+				c := next
+				next++
+				return be.Chain(c)
+			})
+			sameDraws(t, kind.String()+" batched-vs-plain lockstep", plain, batched)
+
+			sweeps, evals := be.Occupancy()
+			if sweeps == 0 {
+				t.Fatal("coalescer never executed a fused sweep")
+			}
+			if kind == HMC && float64(evals) < 2*float64(sweeps) {
+				t.Errorf("HMC batch occupancy %.2f (evals %d / sweeps %d) — leapfrogs not coalescing",
+					float64(evals)/float64(sweeps), evals, sweeps)
+			}
+
+			// Sequential lockstep ignores BatchGrad entirely and must
+			// still agree (the coalescer only engages on the parallel path).
+			seqCfg := cfg
+			seqCfg.Parallel = false
+			be2, _ := model.NewBatchEvaluator(m, base.Chains)
+			next = 0
+			seqCfg.BatchGrad = be2.LogDensityGradBatch
+			seq := Run(seqCfg, func() Target {
+				c := next
+				next++
+				return be2.Chain(c)
+			})
+			sameDraws(t, kind.String()+" sequential ignores BatchGrad", plain, seq)
+			if s, _ := be2.Occupancy(); s != 0 {
+				t.Errorf("sequential run executed %d fused sweeps, want 0", s)
+			}
+		})
+	}
+}
+
+// countingEval builds a coalescer eval that records the member count of
+// every fused batch and writes recognizable results.
+func countingEval(sizes *[]int, mu *sync.Mutex) func(qs, grads [][]float64, lps []float64) {
+	return func(qs, grads [][]float64, lps []float64) {
+		n := 0
+		for c, q := range qs {
+			if q == nil {
+				continue
+			}
+			n++
+			lps[c] = 100 + float64(c)
+			grads[c][0] = float64(c)
+		}
+		mu.Lock()
+		*sizes = append(*sizes, n)
+		mu.Unlock()
+	}
+}
+
+// TestCoalescerFullSetFiresOnce: when every in-round chain submits, the
+// last submitter runs exactly one fused evaluation carrying all of them —
+// no timers involved (wait is an hour).
+func TestCoalescerFullSetFiresOnce(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	co := newGradCoalescer(3, countingEval(&sizes, &mu), time.Hour)
+	co.arm([]bool{true, true, true})
+	qs := [][]float64{{0}, {1}, {2}}
+	grads := [][]float64{{0}, {0}, {0}}
+	lps := make([]float64, 3)
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lps[c] = co.submit(c, qs[c], grads[c])
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < 3; c++ {
+		co.leave(c)
+	}
+	if len(sizes) != 1 || sizes[0] != 3 {
+		t.Fatalf("batch sizes %v, want [3]", sizes)
+	}
+	for c := 0; c < 3; c++ {
+		if lps[c] != 100+float64(c) || grads[c][0] != float64(c) {
+			t.Errorf("chain %d got lp %v grad %v", c, lps[c], grads[c][0])
+		}
+	}
+}
+
+// TestCoalescerLastLeaverFlushes: a chain that finishes its step while
+// others are parked in the rendezvous must flush the pending partial
+// batch — with an hour-long wait, nothing else can fire it.
+func TestCoalescerLastLeaverFlushes(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	co := newGradCoalescer(3, countingEval(&sizes, &mu), time.Hour)
+	co.arm([]bool{true, true, true})
+	qs := [][]float64{{0}, {1}, {2}}
+	grads := [][]float64{{0}, {0}, {0}}
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if lp := co.submit(c, qs[c], grads[c]); lp != 100+float64(c) {
+				t.Errorf("chain %d lp %v", c, lp)
+			}
+		}(c)
+	}
+	for {
+		co.mu.Lock()
+		w := co.waiting
+		co.mu.Unlock()
+		if w == 2 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	co.leave(2) // chain 2 needs no gradient this round: flush on its way out
+	wg.Wait()
+	co.leave(0)
+	co.leave(1)
+	if len(sizes) != 1 || sizes[0] != 2 {
+		t.Fatalf("batch sizes %v, want [2]", sizes)
+	}
+}
+
+// TestCoalescerTimeoutPartialBatch: a waiter whose companions never show
+// up fires a partial batch after the bounded wait instead of stalling.
+func TestCoalescerTimeoutPartialBatch(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	co := newGradCoalescer(2, countingEval(&sizes, &mu), time.Millisecond)
+	co.arm([]bool{true, true})
+	start := time.Now()
+	lp := co.submit(0, []float64{0}, []float64{0})
+	if lp != 100 {
+		t.Errorf("lp %v, want 100", lp)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("partial batch took %v — timer fallback not engaging", elapsed)
+	}
+	co.leave(0)
+	co.leave(1)
+	if len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("batch sizes %v, want [1]", sizes)
+	}
+}
+
+// TestCoalescerPanicQuarantine: a panic escaping the fused evaluation
+// re-raises on the chain that ran the batch and surfaces as NaN on every
+// other member, so nobody is stranded and the runner's non-finite check
+// quarantines the members.
+func TestCoalescerPanicQuarantine(t *testing.T) {
+	co := newGradCoalescer(2, func(qs, grads [][]float64, lps []float64) {
+		panic("kernel fault")
+	}, time.Hour)
+	co.arm([]bool{true, true})
+	type outcome struct {
+		lp    float64
+		panic any
+	}
+	res := make([]outcome, 2)
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() { res[c].panic = recover() }()
+			res[c].lp = co.submit(c, []float64{0}, []float64{0})
+		}(c)
+	}
+	wg.Wait()
+	co.leave(0)
+	co.leave(1)
+	panics, nans := 0, 0
+	for c := 0; c < 2; c++ {
+		if res[c].panic != nil {
+			if res[c].panic != "kernel fault" {
+				t.Errorf("chain %d panic %v", c, res[c].panic)
+			}
+			panics++
+		} else if math.IsNaN(res[c].lp) {
+			nans++
+		}
+	}
+	if panics != 1 || nans != 1 {
+		t.Fatalf("got %d panics, %d NaN members; want exactly 1 of each", panics, nans)
+	}
+}
+
+// TestCoalescerRoundZeroAlloc guards the steady-state round loop: an
+// arm/submit/leave cycle must not allocate once the coalescer is warm.
+func TestCoalescerRoundZeroAlloc(t *testing.T) {
+	co := newGradCoalescer(1, func(qs, grads [][]float64, lps []float64) {
+		for c, q := range qs {
+			if q != nil {
+				lps[c] = 1
+			}
+		}
+	}, time.Hour)
+	active := []bool{true}
+	q, g := []float64{0}, []float64{0}
+	for i := 0; i < 10; i++ {
+		co.arm(active)
+		co.submit(0, q, g)
+		co.leave(0)
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		co.arm(active)
+		co.submit(0, q, g)
+		co.leave(0)
+	}); avg != 0 {
+		t.Errorf("coalescer round loop allocates %.1f per round, want 0", avg)
+	}
+}
+
+// TestBatchEvaluatorSteadyStateZeroAlloc extends the guard through the
+// model layer: a warm LogDensityGradBatch over live chains is
+// allocation-free.
+func TestBatchEvaluatorSteadyStateZeroAlloc(t *testing.T) {
+	m := newBatchedGLMModel(1000, 2, 4, 11)
+	be, ok := model.NewBatchEvaluator(m, 4)
+	if !ok {
+		t.Fatal("model is not batchable")
+	}
+	dim := m.Dim()
+	r := rng.New(3)
+	qs := make([][]float64, 4)
+	grads := make([][]float64, 4)
+	lps := make([]float64, 4)
+	for c := range qs {
+		qs[c] = make([]float64, dim)
+		grads[c] = make([]float64, dim)
+		for i := range qs[c] {
+			qs[c][i] = 0.3 * r.Norm()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		be.LogDensityGradBatch(qs, grads, lps)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		be.LogDensityGradBatch(qs, grads, lps)
+	}); avg != 0 {
+		t.Errorf("LogDensityGradBatch allocates %.1f per call, want 0", avg)
+	}
+}

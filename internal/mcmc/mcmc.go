@@ -147,6 +147,19 @@ type Config struct {
 	// one nil check per iteration; internal/fault provides deterministic
 	// seed-driven implementations for the fault-matrix tests.
 	FaultHook func(chain, iter int) FaultAction
+
+	// BatchGrad, when non-nil, enables cross-chain gradient batching on
+	// the parallel lockstep path: concurrent gradient requests from chain
+	// workers rendezvous each round and run as one fused data sweep
+	// instead of K independent ones. The function receives qs/grads with
+	// nil entries for chains not in the batch and must write lps[c] and
+	// grads[c] for every non-nil c, with results bit-identical to
+	// per-chain evaluation for any batch composition —
+	// model.BatchEvaluator.LogDensityGradBatch satisfies this contract.
+	// It is called from chain worker goroutines but never concurrently
+	// with itself. Ignored on the free path and on sequential runs, where
+	// there is nothing to coalesce.
+	BatchGrad func(qs, grads [][]float64, lps []float64)
 }
 
 // StopRule decides whether sampling has converged. chains[c] is chain c's

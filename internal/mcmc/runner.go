@@ -55,6 +55,19 @@ func RunContext(ctx context.Context, cfg Config, factory TargetFactory) *Result 
 	for c := 0; c < cfg.Chains; c++ {
 		targets[c] = factory()
 	}
+	// Cross-chain gradient batching: on the parallel lockstep path, wrap
+	// every chain's target so gradient requests meet at a per-round
+	// rendezvous and run as one fused data sweep (Config.BatchGrad). The
+	// coalescer stays disarmed until the first round, so initialization
+	// and step-size search below hit the per-chain targets directly.
+	lockstep := cfg.StopRule != nil || cfg.Progress != nil || cfg.CheckpointEvery > 0
+	var co *gradCoalescer
+	if cfg.BatchGrad != nil && lockstep && cfg.Parallel && cfg.Chains > 1 {
+		co = newGradCoalescer(cfg.Chains, cfg.BatchGrad, defaultCoalesceWait)
+		for c := range targets {
+			targets[c] = &coalescedTarget{inner: targets[c], co: co, c: c}
+		}
+	}
 	if cfg.ResumeFrom != nil {
 		if err := cfg.ResumeFrom.Validate(cfg, targets[0].Dim()); err != nil {
 			panic(err)
@@ -106,13 +119,13 @@ func RunContext(ctx context.Context, cfg Config, factory TargetFactory) *Result 
 		}()
 	}
 
-	if cfg.StopRule == nil && cfg.Progress == nil && cfg.CheckpointEvery <= 0 {
+	if !lockstep {
 		iters, interrupted := runFree(cfg, steppers, chains, acceptSums, startIter, &stop)
 		res := finish(cfg, chains, iters, false)
 		res.Interrupted = interrupted
 		return res
 	}
-	iters, elided, interrupted := runLockstep(cfg, steppers, chains, acceptSums, startIter, &stop)
+	iters, elided, interrupted := runLockstep(cfg, steppers, chains, acceptSums, startIter, &stop, co)
 	res := finish(cfg, chains, iters, elided)
 	res.Interrupted = interrupted
 	return res
@@ -352,7 +365,7 @@ func (p *workerPool) close() {
 // goroutines (they are independent, so results are identical to sequential
 // execution). Returns executed iterations, whether the run was elided, and
 // whether it was interrupted.
-func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult, acceptSums []float64, startIter int, stop *atomic.Bool) (int, bool, bool) {
+func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult, acceptSums []float64, startIter int, stop *atomic.Bool, co *gradCoalescer) (int, bool, bool) {
 	n := len(chains)
 	active := make([]bool, n)
 	views := make([]*Samples, 0, n)
@@ -369,6 +382,11 @@ func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult, acceptSu
 	curIter := startIter // set by the coordinator before each round
 	stepOne := func(c int) {
 		faults[c] = css[c].step(curIter)
+		if co != nil {
+			// The chain is done requesting gradients this round; shrink
+			// the rendezvous so stragglers stop waiting for it.
+			co.leave(c)
+		}
 	}
 
 	var pool *workerPool
@@ -392,6 +410,9 @@ func runLockstep(cfg Config, steppers []stepper, chains []*ChainResult, acceptSu
 		}
 		curIter = it
 		if pool != nil {
+			if co != nil {
+				co.arm(active)
+			}
 			pool.step(active)
 		} else {
 			for c := range css {

@@ -1,6 +1,8 @@
 package mcmc_test
 
 import (
+	"math"
+
 	"testing"
 
 	"bayessuite/internal/ad"
@@ -180,14 +182,21 @@ type normalGLMBench struct {
 }
 
 func newNormalGLMBench(kernel bool) *normalGLMBench {
+	return newNormalGLMBenchN(normalGLMN, kernel)
+}
+
+// newNormalGLMBenchN sizes the same model explicitly; the batched
+// gradient benchmarks use n large enough that the data block spills L2,
+// the regime where one-sweep-for-K-chains pays.
+func newNormalGLMBenchN(n int, kernel bool) *normalGLMBench {
 	r := rng.New(41)
 	m := &normalGLMBench{
-		y:     make([]float64, normalGLMN),
-		x:     make([]float64, normalGLMN*normalGLMP),
-		group: make([]int, normalGLMN),
+		y:     make([]float64, n),
+		x:     make([]float64, n*normalGLMP),
+		group: make([]int, n),
 	}
 	beta := []float64{0.6, -0.4}
-	for i := 0; i < normalGLMN; i++ {
+	for i := 0; i < n; i++ {
 		eta := 0.0
 		for j := 0; j < normalGLMP; j++ {
 			v := r.Norm()
@@ -223,7 +232,7 @@ func (m *normalGLMBench) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	// Legacy shape: one Dot node and one group-intercept Add per
 	// observation, then the vector normal recorder — the
 	// node-per-observation structure the kernel replaces.
-	mu := t.ScratchVars(normalGLMN)
+	mu := t.ScratchVars(len(m.y))
 	for i := range mu {
 		mu[i] = t.Add(t.Dot(beta, m.x[i*normalGLMP:(i+1)*normalGLMP]), u[m.group[i]])
 	}
@@ -254,3 +263,75 @@ func BenchmarkGradientNormalGLMKernel(b *testing.B) {
 func BenchmarkGradientNormalGLMTape(b *testing.B) {
 	benchGradient(b, newNormalGLMBench(false))
 }
+
+// ---- Cross-chain batched gradient benchmarks ----
+//
+// The Batched/Unbatched pairs below measure the same seeded parallel
+// lockstep run with and without the gradient coalescer: batched runs
+// fuse all chains' gradient requests into one cache-blocked data sweep
+// per round (BENCH_5.json tracks the ratio across chain counts).
+
+func (m *normalGLMBench) BatchKernels() []kernels.Batcher {
+	if m.kern == nil {
+		return nil
+	}
+	return []kernels.Batcher{m.kern}
+}
+
+func (m *normalGLMBench) KernelParams(q []float64, dst [][]float64) {
+	d := dst[0]
+	copy(d[:normalGLMP+normalGLMGroups], q)
+	d[normalGLMP+normalGLMGroups] = math.Exp(q[normalGLMP+normalGLMGroups]) + 0
+}
+
+func (m *normalGLMBench) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	b := model.NewBuilder(t)
+	beta := q[:normalGLMP]
+	u := q[normalGLMP : normalGLMP+normalGLMGroups]
+	sigma := b.Positive(q[normalGLMP+normalGLMGroups])
+	b.Add(dist.NormalLPDFVarData(t, beta, ad.Const(0), ad.Const(5)))
+	b.Add(dist.NormalLPDFVarData(t, u, ad.Const(0), ad.Const(1)))
+	b.Add(dist.HalfCauchyLPDF(t, sigma, 1))
+	b.Add(m.kern.LogLikPre(t, beta, u, sigma, &pre[0]))
+	return b.Result()
+}
+
+func benchLockstepGLM(b *testing.B, batched bool, chains int) {
+	b.Helper()
+	m := newNormalGLMBench(true)
+	var be *model.BatchEvaluator
+	if batched {
+		var ok bool
+		be, ok = model.NewBatchEvaluator(m, chains)
+		if !ok {
+			b.Fatal("bench model is not batchable")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := mcmc.Config{
+			Chains: chains, Iterations: 10, Sampler: mcmc.HMC, Seed: 19,
+			IntTime: 0.25, StopRule: neverStop(), CheckInterval: 10,
+			MinIterations: 20, Parallel: true,
+		}
+		var factory mcmc.TargetFactory
+		if batched {
+			cfg.BatchGrad = be.LogDensityGradBatch
+			next := 0
+			factory = func() mcmc.Target {
+				c := next
+				next++
+				return be.Chain(c)
+			}
+		} else {
+			factory = func() mcmc.Target { return model.NewEvaluator(m) }
+		}
+		mcmc.Run(cfg, factory)
+	}
+}
+
+func BenchmarkRunnerBatchedLockstep2(b *testing.B)   { benchLockstepGLM(b, true, 2) }
+func BenchmarkRunnerUnbatchedLockstep2(b *testing.B) { benchLockstepGLM(b, false, 2) }
+func BenchmarkRunnerBatchedLockstep4(b *testing.B)   { benchLockstepGLM(b, true, 4) }
+func BenchmarkRunnerUnbatchedLockstep4(b *testing.B) { benchLockstepGLM(b, false, 4) }

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"bayessuite/internal/ad"
+	"bayessuite/internal/kernels"
 )
 
 // Model is a Bayesian model over an unconstrained parameter vector.
@@ -82,7 +83,18 @@ func (e *Evaluator) Dim() int { return e.Model.Dim() }
 // LogDensityGrad evaluates the log density and its gradient at q, writing
 // the gradient into grad. Numerical failures yield -Inf with a zero
 // gradient, which samplers treat as rejection.
-func (e *Evaluator) LogDensityGrad(q, grad []float64) (lp float64) {
+func (e *Evaluator) LogDensityGrad(q, grad []float64) float64 {
+	return e.gradCore(nil, q, grad, nil)
+}
+
+// gradCore is the shared body of LogDensityGrad and the batched replay
+// path. With bm == nil it records Model.LogPosterior from scratch; with
+// bm != nil it records bm.LogPosteriorPre, splicing the precomputed
+// kernel results pre into the tape. Either way every failure mode —
+// non-finite kernel panics (including ones replayed from a BatchResult),
+// indefinite kernels, NaN densities, non-finite gradients — is converted
+// to a -Inf rejection for this evaluation only.
+func (e *Evaluator) gradCore(bm BatchableModel, q, grad []float64, pre []kernels.BatchResult) (lp float64) {
 	e.GradEvals++
 	defer func() {
 		if r := recover(); r != nil {
@@ -99,7 +111,12 @@ func (e *Evaluator) LogDensityGrad(q, grad []float64) (lp float64) {
 	}()
 	e.tape.Reset()
 	e.tape.InputInto(q, e.vars)
-	out := e.Model.LogPosterior(e.tape, e.vars)
+	var out ad.Var
+	if bm != nil {
+		out = bm.LogPosteriorPre(e.tape, e.vars, pre)
+	} else {
+		out = e.Model.LogPosterior(e.tape, e.vars)
+	}
 	e.TapeNodes = e.tape.Len()
 	e.TapeEdges = e.tape.EdgeLen()
 	lp = out.Value()

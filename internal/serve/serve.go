@@ -102,6 +102,19 @@ type PlacementDecision struct {
 	Reason string `json:"reason"`
 }
 
+// GradBatchStats is a job's cross-chain gradient batching accounting:
+// how many fused data sweeps the run executed, how many chain gradient
+// evaluations those sweeps carried, and their ratio — the mean number of
+// chains served per sweep. Occupancy near the chain count means the
+// lockstep rounds stayed aligned (the data was streamed from the cache
+// hierarchy once per round, not once per chain); occupancy near 1 means
+// the chains' trajectory lengths diverged and most sweeps ran solo.
+type GradBatchStats struct {
+	Sweeps        int64   `json:"sweeps"`
+	ChainEvals    int64   `json:"chain_evals"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+}
+
 // ChainFaultInfo is one quarantined chain's fault record, as reported
 // over the API (the wire form of mcmc.ChainFault; stack traces stay
 // server-side).
@@ -144,6 +157,11 @@ type JobStatus struct {
 
 	Placement *PlacementDecision `json:"placement,omitempty"`
 	RHatTrace []RHatPoint        `json:"rhat_trace,omitempty"`
+
+	// GradBatch is the most recent attempt's gradient batching accounting
+	// (absent when the model exposes no batched kernels or the run never
+	// coalesced a sweep).
+	GradBatch *GradBatchStats `json:"grad_batch,omitempty"`
 
 	// Elided: the run stopped early on convergence. Interrupted: it was
 	// cut short by cancel/timeout (draws up to Progress are retained).
@@ -217,6 +235,13 @@ type Stats struct {
 
 	Platforms []PlatformStats `json:"platforms"`
 
+	// Gradient batching aggregated over all jobs: fused sweeps executed,
+	// chain evaluations they carried, and the service-wide mean batch
+	// occupancy (chain_evals / sweeps).
+	BatchSweeps        int64   `json:"batch_sweeps,omitempty"`
+	BatchChainEvals    int64   `json:"batch_chain_evals,omitempty"`
+	MeanBatchOccupancy float64 `json:"mean_batch_occupancy,omitempty"`
+
 	// Elision savings aggregated over completed jobs.
 	SavedIterations int64   `json:"saved_iterations"`
 	SavedJoules     float64 `json:"saved_joules"`
@@ -270,6 +295,11 @@ type Job struct {
 	summaries []ParamSummary
 	maxRHat   float64
 
+	// Gradient batching accounting of the most recent attempt (zero when
+	// the model is not batchable).
+	batchSweeps     int64
+	batchChainEvals int64
+
 	done chan struct{}
 }
 
@@ -318,6 +348,13 @@ func (j *Job) Status() JobStatus {
 	}
 	if len(j.rhat) > 0 {
 		st.RHatTrace = append([]RHatPoint(nil), j.rhat...)
+	}
+	if j.batchSweeps > 0 {
+		st.GradBatch = &GradBatchStats{
+			Sweeps:        j.batchSweeps,
+			ChainEvals:    j.batchChainEvals,
+			MeanOccupancy: float64(j.batchChainEvals) / float64(j.batchSweeps),
+		}
 	}
 	return st
 }

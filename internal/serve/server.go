@@ -414,6 +414,8 @@ func (s *Server) Stats() Stats {
 		state, placement, chains := job.state, job.placement, job.spec.Chains
 		st.SavedIterations += job.savedIters
 		st.SavedJoules += job.savedJoules
+		st.BatchSweeps += job.batchSweeps
+		st.BatchChainEvals += job.batchChainEvals
 		job.mu.Unlock()
 		switch state {
 		case Queued:
@@ -445,6 +447,9 @@ func (s *Server) Stats() Stats {
 			}
 			ps.CoresInUse += cores
 		}
+	}
+	if st.BatchSweeps > 0 {
+		st.MeanBatchOccupancy = float64(st.BatchChainEvals) / float64(st.BatchSweeps)
 	}
 	for _, ps := range perPlat {
 		if ps.CoresInUse > ps.Cores {
@@ -625,7 +630,32 @@ func (s *Server) runJobLocked(job *Job) {
 	if s.injectFaultHook != nil {
 		cfg.FaultHook = s.injectFaultHook(job, attempt)
 	}
-	res := mcmc.RunContext(ctx, cfg, func() mcmc.Target { return model.NewEvaluator(w.Model) })
+	// Cross-chain gradient batching: when the workload exposes batched
+	// kernels, hand the run one fused evaluator whose per-chain targets
+	// rendezvous each lockstep round into a single cache-blocked data
+	// sweep. Batched results are bit-identical to per-chain evaluation,
+	// so the determinism contract (equal specs ⇒ equal draws) is
+	// unaffected — including checkpoint-resume retries.
+	factory := func() mcmc.Target { return model.NewEvaluator(w.Model) }
+	var be *model.BatchEvaluator
+	if b, ok := model.NewBatchEvaluator(w.Model, job.spec.Chains); ok {
+		be = b
+		cfg.BatchGrad = be.LogDensityGradBatch
+		next := 0
+		factory = func() mcmc.Target { // called sequentially by the runner
+			c := next
+			next++
+			return be.Chain(c)
+		}
+	}
+	res := mcmc.RunContext(ctx, cfg, factory)
+
+	if be != nil {
+		sweeps, evals := be.Occupancy()
+		job.mu.Lock()
+		job.batchSweeps, job.batchChainEvals = sweeps, evals
+		job.mu.Unlock()
+	}
 
 	faults := res.Faults()
 	if len(faults) > 0 {

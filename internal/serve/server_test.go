@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -364,4 +365,67 @@ func TestSubmitValidation(t *testing.T) {
 		t.Errorf("default sampler %q, want nuts", job.Status().Spec.Sampler)
 	}
 	waitDone(t, job, 60*time.Second)
+}
+
+// TestGradBatchOccupancy: a job on a batchable workload runs its chains'
+// gradients through the fused cross-chain sweep, reports the batch
+// occupancy in its status, and — the determinism contract — still
+// produces bit-identical draws across identical specs. The server-wide
+// stats aggregate the same accounting.
+func TestGradBatchOccupancy(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueCap: 4, Predictor: testPredictor()})
+	spec := JobSpec{Workload: "12cities", Scale: 0.1, Iterations: 60, Chains: 4, Seed: 11, NoElide: true}
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, job, 60*time.Second)
+	if st.State != Done {
+		t.Fatalf("job ended %s (%s), want done", st.State, st.Error)
+	}
+	gb := st.GradBatch
+	if gb == nil {
+		t.Fatal("batchable workload reported no gradient-batch stats")
+	}
+	if gb.Sweeps <= 0 || gb.ChainEvals < gb.Sweeps {
+		t.Fatalf("implausible accounting: %+v", gb)
+	}
+	if gb.MeanOccupancy < 1 || gb.MeanOccupancy > float64(spec.Chains) {
+		t.Fatalf("mean occupancy %.2f outside [1, %d]", gb.MeanOccupancy, spec.Chains)
+	}
+
+	// Same spec again: batched sampling must preserve the bit-identity
+	// contract job to job.
+	job2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job2, 60*time.Second)
+	a, b := job.Raw(), job2.Raw()
+	if a == nil || b == nil || len(a.Chains) != len(b.Chains) {
+		t.Fatal("missing results")
+	}
+	for c := range a.Chains {
+		sa, sb := a.Chains[c].Samples, b.Chains[c].Samples
+		if sa.Len() != sb.Len() {
+			t.Fatalf("chain %d: %d vs %d draws", c, sa.Len(), sb.Len())
+		}
+		for i := 0; i < sa.Len(); i++ {
+			for d := 0; d < sa.Dim(); d++ {
+				if math.Float64bits(sa.At(i, d)) != math.Float64bits(sb.At(i, d)) {
+					t.Fatalf("chain %d draw %d param %d differs: %v vs %v",
+						c, i, d, sa.At(i, d), sb.At(i, d))
+				}
+			}
+		}
+	}
+
+	stats := s.Stats()
+	if stats.BatchSweeps < 2*gb.Sweeps || stats.BatchChainEvals < 2*gb.ChainEvals {
+		t.Fatalf("stats aggregation %d/%d below the two jobs' own %d/%d",
+			stats.BatchSweeps, stats.BatchChainEvals, gb.Sweeps, gb.ChainEvals)
+	}
+	if stats.MeanBatchOccupancy < 1 {
+		t.Fatalf("service mean occupancy %.2f < 1", stats.MeanBatchOccupancy)
+	}
 }

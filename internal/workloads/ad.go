@@ -85,11 +85,7 @@ func (w *adAttribution) ModeledDataBytes() int {
 
 func (w *adAttribution) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	if w.bern != nil {
-		b := model.NewBuilder(t)
-		// Weakly informative priors on coefficients, fused into one node.
-		b.Add(kernels.NormalDeviations(t, q, ad.Const(0), ad.Const(2.5)))
-		b.Add(w.bern.LogLik(t, q, nil))
-		return b.Result()
+		return w.logPostKernel(t, q, nil)
 	}
 	b := model.NewBuilder(t)
 	// Weakly informative priors on coefficients.
@@ -103,6 +99,42 @@ func (w *adAttribution) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	}
 	b.Add(dist.BernoulliLogitLPMFSum(t, w.y, eta))
 	return b.Result()
+}
+
+// logPostKernel is the fused-kernel density. With pre == nil the GLM
+// block sweeps the data; otherwise the precomputed batched result is
+// spliced in (model.BatchableModel).
+func (w *adAttribution) logPostKernel(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	b := model.NewBuilder(t)
+	// Weakly informative priors on coefficients, fused into one node.
+	b.Add(kernels.NormalDeviations(t, q, ad.Const(0), ad.Const(2.5)))
+	if pre != nil {
+		b.Add(w.bern.LogLikPre(t, q, nil, &pre[0]))
+	} else {
+		b.Add(w.bern.LogLik(t, q, nil))
+	}
+	return b.Result()
+}
+
+// BatchKernels exposes the GLM block for cross-chain batched evaluation
+// (nil on the legacy tape path, which keeps it unbatchable).
+func (w *adAttribution) BatchKernels() []kernels.Batcher {
+	if w.bern == nil {
+		return nil
+	}
+	return []kernels.Batcher{w.bern}
+}
+
+// KernelParams extracts the GLM inputs at q: the coefficients enter the
+// kernel untransformed.
+func (w *adAttribution) KernelParams(q []float64, dst [][]float64) {
+	copy(dst[0], q)
+}
+
+// LogPosteriorPre records the same density as LogPosterior with the GLM
+// sweep replaced by the precomputed batched result.
+func (w *adAttribution) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	return w.logPostKernel(t, q, pre)
 }
 
 // TrueBeta exposes the generative coefficients for integration tests.

@@ -171,3 +171,64 @@ func TestKernelGradAllocsZero(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchedWorkloadBitIdentical checks the BatchableModel contract for
+// every converted workload: a fused LogDensityGradBatch over K chains
+// must reproduce each chain's independent LogDensityGrad bit-for-bit —
+// including a chain sitting at a non-finite point, which must quarantine
+// to lp=-Inf with a zero gradient without disturbing its batchmates.
+func TestBatchedWorkloadBitIdentical(t *testing.T) {
+	defer kernels.SetParallelism(1)
+	const K = 4
+	for _, w := range kernelWorkloads(t, 0.5, 3) {
+		w := w
+		t.Run(w.Info.Name, func(t *testing.T) {
+			be, ok := model.NewBatchEvaluator(w.Model, K)
+			if !ok {
+				t.Fatalf("%s: kernel model is not batchable", w.Info.Name)
+			}
+			if _, legacyOK := model.NewBatchEvaluator(w.TapeModel(), K); legacyOK {
+				t.Fatalf("%s: legacy tape model unexpectedly batchable", w.Info.Name)
+			}
+			ref := model.NewEvaluator(w.Model)
+			dim := ref.Dim()
+			r := rng.New(41)
+			qs := make([][]float64, K)
+			grads := make([][]float64, K)
+			want := make([][]float64, K)
+			lps := make([]float64, K)
+			for c := 0; c < K; c++ {
+				qs[c] = make([]float64, dim)
+				grads[c] = make([]float64, dim)
+				want[c] = make([]float64, dim)
+			}
+			for _, workers := range []int{1, 8} {
+				kernels.SetParallelism(workers)
+				for trial := 0; trial < 3; trial++ {
+					for c := 0; c < K; c++ {
+						for i := range qs[c] {
+							qs[c][i] = 0.5 * r.Norm()
+						}
+					}
+					if trial == 2 {
+						qs[1][0] = math.NaN() // quarantine candidate mid-batch
+					}
+					be.LogDensityGradBatch(qs, grads, lps)
+					for c := 0; c < K; c++ {
+						wantLP := ref.LogDensityGrad(qs[c], want[c])
+						if lps[c] != wantLP {
+							t.Errorf("workers=%d trial %d chain %d: batched lp %.17g != single %.17g",
+								workers, trial, c, lps[c], wantLP)
+						}
+						for i := range want[c] {
+							if grads[c][i] != want[c][i] {
+								t.Fatalf("workers=%d trial %d chain %d grad[%d]: batched %.17g != single %.17g",
+									workers, trial, c, i, grads[c][i], want[c][i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"math"
+
 	"bayessuite/internal/ad"
 	"bayessuite/internal/data"
 	"bayessuite/internal/dist"
@@ -103,6 +105,9 @@ func (w *memoryRetrieval) ModeledDataBytes() int {
 }
 
 func (w *memoryRetrieval) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	if w.bernAcc != nil {
+		return w.logPostKernel(t, q, nil)
+	}
 	b := model.NewBuilder(t)
 	i := 0
 	muA := q[i]
@@ -134,25 +139,6 @@ func (w *memoryRetrieval) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	b.Add(dist.NormalLPDFVarData(t, mRaw, ad.Const(0), ad.Const(1)))
 	b.Add(dist.HalfCauchyLPDF(t, sigRT, 0.5))
 
-	if w.bernAcc != nil {
-		// Per-subject effects (non-centered) as kernel group effects.
-		alpha := t.ScratchVars(w.nSubj)
-		lat := t.ScratchVars(w.nSubj)
-		for j := 0; j < w.nSubj; j++ {
-			alpha[j] = t.Add(muA, t.Mul(sigA, aRaw[j]))
-			lat[j] = t.Add(muM, t.Mul(sigM, mRaw[j]))
-		}
-		coefA := t.ScratchVars(1)
-		coefA[0] = bA
-		b.Add(w.bernAcc.LogLik(t, coefA, alpha))
-		coefM := t.ScratchVars(1)
-		coefM[0] = bM
-		// log RT ~ Normal(mu, sigma) (lognormal on RT; the Jacobian of
-		// the log is a data constant and drops out).
-		b.Add(w.normRT.LogLik(t, coefM, lat, sigRT))
-		return b.Result()
-	}
-
 	// Per-subject effects (non-centered).
 	alpha := make([]ad.Var, w.nSubj)
 	lat := make([]ad.Var, w.nSubj)
@@ -174,4 +160,100 @@ func (w *memoryRetrieval) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	// Jacobian of the log is a data constant and drops out).
 	b.Add(dist.NormalLPDFVec(t, w.logRT, muRT, sigRT))
 	return b.Result()
+}
+
+// logPostKernel is the fused-kernel density. With pre == nil both GLM
+// blocks sweep the data; otherwise the precomputed batched results are
+// spliced in (model.BatchableModel).
+func (w *memoryRetrieval) logPostKernel(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	b := model.NewBuilder(t)
+	i := 0
+	muA := q[i]
+	i++
+	sigA := b.Positive(q[i])
+	i++
+	bA := q[i]
+	i++
+	aRaw := q[i : i+w.nSubj]
+	i += w.nSubj
+	muM := q[i]
+	i++
+	sigM := b.Positive(q[i])
+	i++
+	bM := q[i]
+	i++
+	mRaw := q[i : i+w.nSubj]
+	i += w.nSubj
+	sigRT := b.Positive(q[i])
+
+	// Priors.
+	b.Add(dist.NormalLPDF(t, muA, ad.Const(0), ad.Const(2)))
+	b.Add(dist.HalfCauchyLPDF(t, sigA, 1))
+	b.Add(dist.NormalLPDF(t, bA, ad.Const(0), ad.Const(1)))
+	b.Add(dist.NormalLPDFVarData(t, aRaw, ad.Const(0), ad.Const(1)))
+	b.Add(dist.NormalLPDF(t, muM, ad.Const(6), ad.Const(1)))
+	b.Add(dist.HalfCauchyLPDF(t, sigM, 0.5))
+	b.Add(dist.NormalLPDF(t, bM, ad.Const(0), ad.Const(0.5)))
+	b.Add(dist.NormalLPDFVarData(t, mRaw, ad.Const(0), ad.Const(1)))
+	b.Add(dist.HalfCauchyLPDF(t, sigRT, 0.5))
+
+	// Per-subject effects (non-centered) as kernel group effects.
+	alpha := t.ScratchVars(w.nSubj)
+	lat := t.ScratchVars(w.nSubj)
+	for j := 0; j < w.nSubj; j++ {
+		alpha[j] = t.Add(muA, t.Mul(sigA, aRaw[j]))
+		lat[j] = t.Add(muM, t.Mul(sigM, mRaw[j]))
+	}
+	coefA := t.ScratchVars(1)
+	coefA[0] = bA
+	coefM := t.ScratchVars(1)
+	coefM[0] = bM
+	if pre != nil {
+		b.Add(w.bernAcc.LogLikPre(t, coefA, alpha, &pre[0]))
+		// log RT ~ Normal(mu, sigma) (lognormal on RT; the Jacobian of
+		// the log is a data constant and drops out).
+		b.Add(w.normRT.LogLikPre(t, coefM, lat, sigRT, &pre[1]))
+	} else {
+		b.Add(w.bernAcc.LogLik(t, coefA, alpha))
+		b.Add(w.normRT.LogLik(t, coefM, lat, sigRT))
+	}
+	return b.Result()
+}
+
+// BatchKernels exposes both GLM blocks for cross-chain batched
+// evaluation (nil on the legacy tape path, which keeps it unbatchable).
+func (w *memoryRetrieval) BatchKernels() []kernels.Batcher {
+	if w.bernAcc == nil {
+		return nil
+	}
+	return []kernels.Batcher{w.bernAcc, w.normRT}
+}
+
+// KernelParams extracts the inputs of both blocks at q — dst[0] is the
+// accuracy GLM's [bA, alpha...], dst[1] the latency GLM's
+// [bM, lat..., sigmaRT] — replicating the constraining transforms
+// bit-for-bit: scales are exp(q) (+0 from the lower bound, a bitwise
+// no-op for positives) and each subject effect is one multiply then one
+// add, exactly as t.Mul/t.Add record them.
+func (w *memoryRetrieval) KernelParams(q []float64, dst [][]float64) {
+	sigA := math.Exp(q[1]) + 0
+	sigM := math.Exp(q[4+w.nSubj]) + 0
+	dA, dM := dst[0], dst[1]
+	dA[0] = q[2]         // bA
+	dM[0] = q[5+w.nSubj] // bM
+	alpha := dA[1 : 1+w.nSubj]
+	lat := dM[1 : 1+w.nSubj]
+	for j := 0; j < w.nSubj; j++ {
+		ma := sigA * q[3+j]
+		alpha[j] = q[0] + ma
+		mm := sigM * q[6+w.nSubj+j]
+		lat[j] = q[3+w.nSubj] + mm
+	}
+	dM[1+w.nSubj] = math.Exp(q[6+2*w.nSubj]) + 0 // sigmaRT
+}
+
+// LogPosteriorPre records the same density as LogPosterior with the GLM
+// sweeps replaced by the precomputed batched results.
+func (w *memoryRetrieval) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	return w.logPostKernel(t, q, pre)
 }

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"math"
+
 	"bayessuite/internal/ad"
 	"bayessuite/internal/data"
 	"bayessuite/internal/dist"
@@ -103,26 +105,15 @@ func (w *tickets) ModeledDataBytes() int {
 }
 
 func (w *tickets) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	if w.bern != nil {
+		return w.logPostKernel(t, q, nil)
+	}
 	b := model.NewBuilder(t)
 	sigAlpha := b.Positive(q[0])
 	alphaRaw := q[1 : 1+w.nOfficers]
 	beta := q[1+w.nOfficers:]
 
 	b.Add(dist.HalfCauchyLPDF(t, sigAlpha, 1))
-
-	if w.bern != nil {
-		b.Add(kernels.NormalDeviations(t, alphaRaw, ad.Const(0), ad.Const(1)))
-		b.Add(kernels.NormalDeviations(t, beta, ad.Const(0), ad.Const(2.5)))
-		// Non-centered officer intercepts feed the kernel as group
-		// effects: u_o = sigma_alpha * raw_o, O(officers) tape nodes.
-		u := t.ScratchVars(w.nOfficers)
-		for o := range u {
-			u[o] = t.Mul(sigAlpha, alphaRaw[o])
-		}
-		b.Add(w.bern.LogLik(t, beta, u))
-		return b.Result()
-	}
-
 	b.Add(dist.NormalLPDFVarData(t, alphaRaw, ad.Const(0), ad.Const(1)))
 	for _, bj := range beta {
 		b.Add(dist.NormalLPDF(t, bj, ad.Const(0), ad.Const(2.5)))
@@ -137,4 +128,59 @@ func (w *tickets) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	}
 	b.Add(dist.BernoulliLogitLPMFSum(t, w.y, eta))
 	return b.Result()
+}
+
+// logPostKernel is the fused-kernel density. With pre == nil the GLM
+// block sweeps the data; otherwise the precomputed batched result is
+// spliced in (model.BatchableModel).
+func (w *tickets) logPostKernel(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	b := model.NewBuilder(t)
+	sigAlpha := b.Positive(q[0])
+	alphaRaw := q[1 : 1+w.nOfficers]
+	beta := q[1+w.nOfficers:]
+
+	b.Add(dist.HalfCauchyLPDF(t, sigAlpha, 1))
+	b.Add(kernels.NormalDeviations(t, alphaRaw, ad.Const(0), ad.Const(1)))
+	b.Add(kernels.NormalDeviations(t, beta, ad.Const(0), ad.Const(2.5)))
+	// Non-centered officer intercepts feed the kernel as group
+	// effects: u_o = sigma_alpha * raw_o, O(officers) tape nodes.
+	u := t.ScratchVars(w.nOfficers)
+	for o := range u {
+		u[o] = t.Mul(sigAlpha, alphaRaw[o])
+	}
+	if pre != nil {
+		b.Add(w.bern.LogLikPre(t, beta, u, &pre[0]))
+	} else {
+		b.Add(w.bern.LogLik(t, beta, u))
+	}
+	return b.Result()
+}
+
+// BatchKernels exposes the GLM block for cross-chain batched evaluation
+// (nil on the legacy tape path, which keeps it unbatchable).
+func (w *tickets) BatchKernels() []kernels.Batcher {
+	if w.bern == nil {
+		return nil
+	}
+	return []kernels.Batcher{w.bern}
+}
+
+// KernelParams extracts the GLM inputs [beta, u] at q, replicating the
+// constraining transforms LogPosterior applies bit-for-bit: the scale is
+// exp(q0) (+0 from the lower bound, a bitwise no-op for positives) and
+// each officer effect is one multiply, exactly as t.Mul records it.
+func (w *tickets) KernelParams(q []float64, dst [][]float64) {
+	d := dst[0]
+	sig := math.Exp(q[0]) + 0
+	copy(d[:w.p], q[1+w.nOfficers:])
+	u := d[w.p : w.p+w.nOfficers]
+	for o := range u {
+		u[o] = sig * q[1+o]
+	}
+}
+
+// LogPosteriorPre records the same density as LogPosterior with the GLM
+// sweep replaced by the precomputed batched result.
+func (w *tickets) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	return w.logPostKernel(t, q, pre)
 }

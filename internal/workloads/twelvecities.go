@@ -118,6 +118,9 @@ func (w *twelveCities) ModeledDataBytes() int {
 }
 
 func (w *twelveCities) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
+	if w.pois != nil {
+		return w.logPostKernel(t, q, nil)
+	}
 	b := model.NewBuilder(t)
 	muAlpha := q[0]
 	sigAlpha := b.Positive(q[1])
@@ -131,19 +134,6 @@ func (w *twelveCities) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	b.Add(dist.NormalLPDFVarData(t, alphaRaw, ad.Const(0), ad.Const(1)))
 	b.Add(dist.NormalLPDF(t, trend, ad.Const(0), ad.Const(0.1)))
 	b.Add(dist.NormalLPDF(t, beta, ad.Const(0), ad.Const(1)))
-
-	if w.pois != nil {
-		// Non-centered city intercepts as kernel group effects.
-		alpha := t.ScratchVars(w.nCities)
-		for c := range alpha {
-			alpha[c] = t.Add(muAlpha, t.Mul(sigAlpha, alphaRaw[c]))
-		}
-		coef := t.ScratchVars(2)
-		coef[0] = trend
-		coef[1] = beta
-		b.Add(w.pois.LogLik(t, coef, alpha))
-		return b.Result()
-	}
 
 	// Non-centered city intercepts: alpha_c = mu + sigma * raw_c.
 	alpha := make([]ad.Var, w.nCities)
@@ -164,6 +154,72 @@ func (w *twelveCities) LogPosterior(t *ad.Tape, q []ad.Var) ad.Var {
 	}
 	b.Add(dist.PoissonLogLPMFSum(t, w.deaths, eta))
 	return b.Result()
+}
+
+// logPostKernel is the fused-kernel density. With pre == nil the GLM
+// block sweeps the data; otherwise the precomputed batched result is
+// spliced in (model.BatchableModel).
+func (w *twelveCities) logPostKernel(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	b := model.NewBuilder(t)
+	muAlpha := q[0]
+	sigAlpha := b.Positive(q[1])
+	alphaRaw := q[2 : 2+w.nCities]
+	trend := q[2+w.nCities]
+	beta := q[3+w.nCities]
+
+	// Priors.
+	b.Add(dist.NormalLPDF(t, muAlpha, ad.Const(-11), ad.Const(2)))
+	b.Add(dist.HalfCauchyLPDF(t, sigAlpha, 1))
+	b.Add(dist.NormalLPDFVarData(t, alphaRaw, ad.Const(0), ad.Const(1)))
+	b.Add(dist.NormalLPDF(t, trend, ad.Const(0), ad.Const(0.1)))
+	b.Add(dist.NormalLPDF(t, beta, ad.Const(0), ad.Const(1)))
+
+	// Non-centered city intercepts as kernel group effects.
+	alpha := t.ScratchVars(w.nCities)
+	for c := range alpha {
+		alpha[c] = t.Add(muAlpha, t.Mul(sigAlpha, alphaRaw[c]))
+	}
+	coef := t.ScratchVars(2)
+	coef[0] = trend
+	coef[1] = beta
+	if pre != nil {
+		b.Add(w.pois.LogLikPre(t, coef, alpha, &pre[0]))
+	} else {
+		b.Add(w.pois.LogLik(t, coef, alpha))
+	}
+	return b.Result()
+}
+
+// BatchKernels exposes the GLM block for cross-chain batched evaluation
+// (nil on the legacy tape path, which keeps it unbatchable).
+func (w *twelveCities) BatchKernels() []kernels.Batcher {
+	if w.pois == nil {
+		return nil
+	}
+	return []kernels.Batcher{w.pois}
+}
+
+// KernelParams extracts the GLM inputs [trend, beta, alpha...] at q,
+// replicating the constraining transforms bit-for-bit: sigma is exp(q1)
+// (+0 from the lower bound, a bitwise no-op for positives) and each city
+// intercept is one multiply then one add, exactly as t.Mul/t.Add record
+// them.
+func (w *twelveCities) KernelParams(q []float64, dst [][]float64) {
+	d := dst[0]
+	d[0] = q[2+w.nCities]
+	d[1] = q[3+w.nCities]
+	sig := math.Exp(q[1]) + 0
+	alpha := d[2 : 2+w.nCities]
+	for c := range alpha {
+		m := sig * q[2+c]
+		alpha[c] = q[0] + m
+	}
+}
+
+// LogPosteriorPre records the same density as LogPosterior with the GLM
+// sweep replaced by the precomputed batched result.
+func (w *twelveCities) LogPosteriorPre(t *ad.Tape, q []ad.Var, pre []kernels.BatchResult) ad.Var {
+	return w.logPostKernel(t, q, pre)
 }
 
 // Constrain maps an unconstrained draw to the natural scale.
