@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt-check vet test race fault-matrix serve-smoke bench bench-runner bench-json
+.PHONY: ci build fmt-check vet test race fault-matrix serve-smoke cluster-smoke bench bench-runner bench-json
 
-ci: fmt-check vet test race fault-matrix
+ci: fmt-check vet test race fault-matrix cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -33,7 +33,7 @@ test:
 # streaming R-hat detector invoked from the coordinator, and the bayesd
 # serving layer (admission queue, worker pool, cancellation).
 race:
-	$(GO) test -race ./internal/mcmc/... ./internal/elide/... ./internal/serve/...
+	$(GO) test -race ./internal/mcmc/... ./internal/elide/... ./internal/serve/... ./internal/cluster/...
 
 # Deterministic fault-injection matrix under the race detector: every
 # sampler crossed with every injectable fault kind (panic, non-finite,
@@ -44,13 +44,23 @@ race:
 # bit-identical draws and checkpoint-resume replay on the batched path.
 fault-matrix:
 	$(GO) test -race -run 'Fault|Checkpoint|Quarantine|Retry|Resume|Injector' \
-		./internal/fault/... ./internal/mcmc/... ./internal/serve/...
+		./internal/fault/... ./internal/mcmc/... ./internal/serve/... ./internal/cluster/...
 
 # End-to-end smoke test of the serving daemon: boots bayesd on a random
 # port, submits a small seeded job over HTTP, polls it to completion, and
 # asserts that convergence elision fired and savings were accounted.
 serve-smoke:
 	$(GO) run ./cmd/bayesd -smoke
+
+# End-to-end cluster smoke under the race detector: a coordinator and two
+# heterogeneous workers in one process over real HTTP. Phase 1 checks
+# fleet placement, capability probes, and fleet stats; phase 2 is the
+# acceptance criterion — a worker killed mid-run by an injected fault,
+# the job requeued from its last streamed checkpoint onto a worker that
+# did not exist before the kill, and the migrated draws compared bit for
+# bit against an uninterrupted single-node run.
+cluster-smoke:
+	$(GO) run -race ./cmd/bayesd -cluster-smoke
 
 # Runner hot-path benchmarks with allocation accounting.
 bench-runner:

@@ -8,7 +8,15 @@
 //
 //	bayesd [-addr 127.0.0.1:8080] [-queue 64] [-workers 2]
 //	       [-timeout 0] [-seed 7] [-retries 2]
-//	bayesd -smoke      # boot on a random port, run one job end-to-end
+//	bayesd -smoke          # boot on a random port, run one job end-to-end
+//	bayesd -coordinator [-node NAME]                 # fleet control plane
+//	bayesd -worker URL [-node NAME] [-platform P] [-slots N]
+//	bayesd -cluster-smoke  # coordinator + 2 workers + migration self-test
+//
+// In cluster mode the coordinator serves the same client API as a single
+// node plus the /cluster/v1 worker protocol; workers pull leases from it,
+// heartbeat, stream checkpoints, and upload results, so a job migrates
+// off a lost worker with bit-identical draws (see internal/cluster).
 //
 // Jobs whose every chain is quarantined (panic, non-finite density,
 // divergence storm) are retried up to -retries times from their last
@@ -43,19 +51,50 @@ func main() {
 	seed := flag.Uint64("seed", 7, "seed for the calibration datasets")
 	retries := flag.Int("retries", 2, "retries per job when every chain faults (-1: disable)")
 	smoke := flag.Bool("smoke", false, "self-test: boot on a random port, run a small job to completion, assert elision fired")
+	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator: admit jobs, shard them across pull-based workers")
+	workerOf := flag.String("worker", "", "run as cluster worker pulling from the given coordinator URL")
+	node := flag.String("node", "", "node name (default: coordinator / worker-<pid>)")
+	platform := flag.String("platform", "Skylake", "simulated platform for -worker mode (Skylake or Broadwell)")
+	slots := flag.Int("slots", 1, "concurrent job slots for -worker mode")
+	clusterSmoke := flag.Bool("cluster-smoke", false, "self-test: coordinator + two workers in one process; verifies fleet placement and that a job migrated off a killed worker yields bit-identical draws")
 	flag.Parse()
 
-	if *smoke {
+	switch {
+	case *smoke:
 		if err := runSmoke(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, "bayesd: SMOKE FAIL:", err)
 			os.Exit(1)
 		}
 		fmt.Println("bayesd: SMOKE PASS")
-		return
-	}
-	if err := run(*addr, *queueCap, *workers, *timeout, *seed, *retries); err != nil {
-		fmt.Fprintln(os.Stderr, "bayesd:", err)
-		os.Exit(1)
+	case *clusterSmoke:
+		if err := runClusterSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bayesd: CLUSTER SMOKE FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bayesd: CLUSTER SMOKE PASS")
+	case *coordinator:
+		name := *node
+		if name == "" {
+			name = "coordinator"
+		}
+		if err := runCoordinator(*addr, *queueCap, *seed, name); err != nil {
+			fmt.Fprintln(os.Stderr, "bayesd:", err)
+			os.Exit(1)
+		}
+	case *workerOf != "":
+		name := *node
+		if name == "" {
+			name = fmt.Sprintf("worker-%d", os.Getpid())
+		}
+		if err := runWorker(*addr, *workerOf, name, *platform, *slots, *retries); err != nil {
+			fmt.Fprintln(os.Stderr, "bayesd:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := run(*addr, *queueCap, *workers, *timeout, *seed, *retries); err != nil {
+			fmt.Fprintln(os.Stderr, "bayesd:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"bayessuite/internal/serve"
+)
+
+// Handler returns the coordinator's HTTP surface: the standard bayesd
+// client API (serve.NewAPIHandler over the coordinator — clients cannot
+// tell a fleet from a single node) plus the worker protocol:
+//
+//	POST /cluster/v1/lease                  poll for work     → 200 LeaseResponse
+//	POST /cluster/v1/heartbeat              liveness report   → 200 HeartbeatResponse
+//	POST /cluster/v1/jobs/{id}/checkpoint   checkpoint upload → 204 (body: raw BSCK bytes, ?worker=)
+//	POST /cluster/v1/jobs/{id}/result       terminal upload   → 204 ResultUpload
+//	GET  /cluster/v1/jobs/{id}/draws        raw draw block    → 200 octet-stream
+//	GET  /cluster/v1/workers                fleet capabilities → 200 []Capability
+func (co *Coordinator) Handler() http.Handler {
+	mux := serve.NewAPIHandler(co)
+	mux.HandleFunc("POST /cluster/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := co.Lease(req)
+		if err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /cluster/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := co.Heartbeat(req)
+		if err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		writeClusterJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /cluster/v1/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeClusterErr(w, errors.Join(serve.ErrBadSpec, err))
+			return
+		}
+		if err := co.UploadCheckpoint(r.PathValue("id"), r.URL.Query().Get("worker"), data); err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /cluster/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		var up ResultUpload
+		if !decodeJSON(w, r, &up) {
+			return
+		}
+		up.JobID = r.PathValue("id")
+		if err := co.UploadResult(up); err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /cluster/v1/jobs/{id}/draws", func(w http.ResponseWriter, r *http.Request) {
+		data, err := co.Draws(r.PathValue("id"))
+		if err != nil {
+			writeClusterErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("GET /cluster/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeClusterJSON(w, http.StatusOK, co.Workers())
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		writeClusterErr(w, errors.Join(serve.ErrBadSpec, err))
+		return false
+	}
+	return true
+}
+
+func writeClusterJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeClusterErr maps the serve sentinel errors the coordinator reuses
+// onto the same status codes as the client API.
+func writeClusterErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, serve.ErrBadSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, serve.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, serve.ErrFinished):
+		code = http.StatusConflict
+	case errors.Is(err, serve.ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeClusterJSON(w, code, map[string]string{"error": err.Error()})
+}

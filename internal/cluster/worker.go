@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayessuite/internal/hw"
+	"bayessuite/internal/mcmc"
+	"bayessuite/internal/serve"
+)
+
+// WorkerConfig configures a cluster worker daemon.
+type WorkerConfig struct {
+	// Name is the worker's unique fleet name (required).
+	Name string
+	// Coordinator is the coordinator's base URL (required).
+	Coordinator string
+	// Platform is the simulated platform this worker embodies (default
+	// Skylake). Its LLC size and frequency are what the coordinator's
+	// fleet placement sees.
+	Platform hw.Platform
+	// Slots is the worker's concurrent job capacity (default 1).
+	Slots int
+	// LeaseInterval is the idle poll cadence (default 50ms); a worker
+	// with a free slot asks for work this often.
+	LeaseInterval time.Duration
+	// HeartbeatInterval is the liveness cadence (default 500ms). It must
+	// be well under the coordinator's HeartbeatTimeout.
+	HeartbeatInterval time.Duration
+	// HTTP is the client used for coordinator calls (default
+	// http.DefaultClient).
+	HTTP *http.Client
+	// Engine, when non-zero, overrides pieces of the embedded
+	// serve.Server config (checkpoint cadence, retries, fault hook for
+	// the injection harness). Node/Role/PinnedPlatform/OnCheckpoint are
+	// always set by the worker.
+	Engine serve.Config
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Platform.Codename == "" {
+		c.Platform = hw.Skylake
+	}
+	if c.Slots == 0 {
+		c.Slots = 1
+	}
+	if c.LeaseInterval == 0 {
+		c.LeaseInterval = 50 * time.Millisecond
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Worker is one fleet member: an embedded single-platform serve.Server
+// plus the pull/heartbeat/upload loops that connect it to a coordinator.
+type Worker struct {
+	cfg    WorkerConfig
+	engine *serve.Server
+
+	stopc chan struct{}
+	donec chan struct{}
+
+	killed   atomic.Bool
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	byLoc   map[string]string // engine job ID → coordinator job ID
+	inflit  int               // local jobs not yet uploaded
+	stopped bool
+}
+
+// NewWorker builds the worker and starts its lease and heartbeat loops.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: worker needs a name")
+	}
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	if _, err := url.Parse(cfg.Coordinator); err != nil {
+		return nil, fmt.Errorf("cluster: bad coordinator URL: %w", err)
+	}
+	w := &Worker{
+		cfg:   cfg,
+		stopc: make(chan struct{}),
+		donec: make(chan struct{}),
+		byLoc: make(map[string]string),
+	}
+	ecfg := cfg.Engine
+	ecfg.Node = cfg.Name
+	ecfg.Role = "worker"
+	plat := cfg.Platform
+	ecfg.PinnedPlatform = &plat
+	ecfg.Workers = cfg.Slots
+	// Synchronous checkpoint upload: by the time the sampler advances past
+	// a checkpoint boundary, the coordinator already holds that snapshot —
+	// so a worker killed at iteration k can always migrate from the last
+	// boundary ≤ k, never an older one.
+	ecfg.OnCheckpoint = w.uploadCheckpoint
+	w.engine = serve.NewServer(ecfg)
+	go w.heartbeatLoop()
+	go w.leaseLoop()
+	return w, nil
+}
+
+// Engine exposes the embedded server (its Handler serves the standard
+// bayesd API with role "worker"; the fault harness reaches jobs through
+// it).
+func (w *Worker) Engine() *serve.Server { return w.engine }
+
+// Name returns the worker's fleet name.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+// Kill simulates abrupt worker death for the fault harness: loops stop
+// immediately (no goodbye heartbeat), running jobs are canceled, and
+// nothing further is uploaded — the coordinator finds out the hard way,
+// by heartbeat silence. Safe to call from inside a sampling iteration
+// (the fault hook): the engine shutdown runs on its own goroutine.
+func (w *Worker) Kill() {
+	if !w.killed.CompareAndSwap(false, true) {
+		return
+	}
+	w.closeStop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: cancel running jobs, don't wait politely
+	go func() { _ = w.engine.Shutdown(ctx) }()
+}
+
+// Stop drains the worker gracefully: leasing stops, running jobs finish
+// and upload (bounded by ctx), and the final heartbeat says Leaving so
+// the coordinator removes this worker from the fleet without waiting for
+// the reaper.
+func (w *Worker) Stop(ctx context.Context) error {
+	w.draining.Store(true)
+	poll := time.NewTicker(5 * time.Millisecond)
+	defer poll.Stop()
+drain:
+	for {
+		w.mu.Lock()
+		idle := w.inflit == 0
+		w.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break drain
+		case <-poll.C:
+		}
+	}
+	err := w.engine.Shutdown(ctx)
+	if !w.killed.Load() {
+		_ = w.sendHeartbeat(true)
+	}
+	w.closeStop()
+	return err
+}
+
+func (w *Worker) closeStop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.stopped {
+		w.stopped = true
+		close(w.stopc)
+	}
+}
+
+// leaseLoop polls the coordinator for work whenever a slot is free.
+func (w *Worker) leaseLoop() {
+	t := time.NewTicker(w.cfg.LeaseInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-t.C:
+		}
+		if w.draining.Load() || w.killed.Load() {
+			continue
+		}
+		cap := w.engine.Capability()
+		if cap.Running >= cap.Slots {
+			continue
+		}
+		var resp LeaseResponse
+		err := w.post("/cluster/v1/lease", LeaseRequest{Worker: w.cfg.Name, Capability: cap}, &resp)
+		if err != nil || resp.Lease == nil {
+			continue
+		}
+		w.runLease(resp.Lease)
+	}
+}
+
+// runLease admits a granted job into the local engine and arms the
+// result upload for when it finishes.
+func (w *Worker) runLease(l *Lease) {
+	var ck *mcmc.Checkpoint
+	if l.CheckpointB64 != "" {
+		data, err := base64.StdEncoding.DecodeString(l.CheckpointB64)
+		if err == nil {
+			ck, err = mcmc.DecodeCheckpoint(data)
+		}
+		if err != nil || (l.CheckpointFP != 0 && ck.Fingerprint() != l.CheckpointFP) {
+			// A corrupt handoff must not silently restart from zero (the
+			// resumed run would no longer be bit-identical to the
+			// uninterrupted one). Refuse the lease; the job migrates again.
+			return
+		}
+	}
+	job, err := w.engine.SubmitWithCheckpoint(l.Spec, ck)
+	if err != nil {
+		return // spec/checkpoint mismatch or local drain; the lease lapses
+	}
+	w.mu.Lock()
+	w.byLoc[job.ID()] = l.JobID
+	w.inflit++
+	w.mu.Unlock()
+	go w.awaitAndUpload(job, l.JobID)
+}
+
+// awaitAndUpload waits for a local job to finish and uploads its terminal
+// status, payload, and raw draws. A killed worker uploads nothing — from
+// the fleet's point of view it died mid-run.
+func (w *Worker) awaitAndUpload(job *serve.Job, clusterID string) {
+	defer func() {
+		w.mu.Lock()
+		delete(w.byLoc, job.ID())
+		w.inflit--
+		w.mu.Unlock()
+	}()
+	<-job.Done()
+	if w.killed.Load() {
+		return
+	}
+	st := job.Status()
+	payload, _ := job.Result()
+	up := ResultUpload{Worker: w.cfg.Name, JobID: clusterID, Status: st, Payload: payload}
+	if raw := job.Raw(); raw != nil {
+		up.DrawsB64 = base64.StdEncoding.EncodeToString(EncodeDraws(raw))
+	}
+	_ = w.post("/cluster/v1/jobs/"+url.PathEscape(clusterID)+"/result", up, nil)
+}
+
+// uploadCheckpoint is the engine's OnCheckpoint observer: stream every
+// snapshot to the coordinator, synchronously, so migration state is never
+// behind local state by more than zero checkpoints.
+func (w *Worker) uploadCheckpoint(job *serve.Job, ck *mcmc.Checkpoint) {
+	if w.killed.Load() {
+		return
+	}
+	w.mu.Lock()
+	clusterID, ok := w.byLoc[job.ID()]
+	w.mu.Unlock()
+	if !ok {
+		return // locally-submitted job (not leased); nothing to stream
+	}
+	u := w.cfg.Coordinator + "/cluster/v1/jobs/" + url.PathEscape(clusterID) +
+		"/checkpoint?worker=" + url.QueryEscape(w.cfg.Name)
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(ck.Encode()))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := w.httpClient().Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// heartbeatLoop reports liveness until the worker stops or dies.
+func (w *Worker) heartbeatLoop() {
+	defer close(w.donec)
+	t := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-t.C:
+		}
+		if w.killed.Load() {
+			return
+		}
+		_ = w.sendHeartbeat(false)
+	}
+}
+
+// sendHeartbeat posts one heartbeat and applies any cancels it returns.
+func (w *Worker) sendHeartbeat(leaving bool) error {
+	req := HeartbeatRequest{
+		Worker:     w.cfg.Name,
+		Capability: w.engine.Capability(),
+		Stats:      w.engine.Stats(),
+		Leaving:    leaving,
+	}
+	w.mu.Lock()
+	locByCluster := make(map[string]string, len(w.byLoc))
+	for loc, cl := range w.byLoc {
+		locByCluster[cl] = loc
+	}
+	w.mu.Unlock()
+	for cl, loc := range locByCluster {
+		st, err := w.engine.GetJob(loc)
+		if err != nil {
+			continue
+		}
+		req.Jobs = append(req.Jobs, JobProgress{JobID: cl, State: st.State, Progress: st.Progress})
+	}
+	var resp HeartbeatResponse
+	if err := w.post("/cluster/v1/heartbeat", req, &resp); err != nil {
+		return err
+	}
+	for _, cl := range resp.Cancel {
+		if loc, ok := locByCluster[cl]; ok {
+			_, _ = w.engine.CancelJob(loc)
+		}
+	}
+	return nil
+}
+
+func (w *Worker) httpClient() *http.Client {
+	if w.cfg.HTTP != nil {
+		return w.cfg.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post issues one JSON POST to the coordinator.
+func (w *Worker) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("cluster: %s: HTTP %d: %s", path, resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

@@ -36,6 +36,11 @@ const (
 	// Cancel invokes the configured cancel function (typically a
 	// context.CancelFunc), exercising cooperative interruption.
 	Cancel
+	// WorkerLoss invokes the configured worker-kill function (at most
+	// once), simulating the abrupt death of the cluster worker hosting the
+	// run — heartbeats stop, the coordinator reaps the lease, and the job
+	// must migrate to another worker from its last uploaded checkpoint.
+	WorkerLoss
 )
 
 // String returns the kind's test-matrix label.
@@ -49,6 +54,8 @@ func (k Kind) String() string {
 		return "slow"
 	case Cancel:
 		return "cancel"
+	case WorkerLoss:
+		return "worker-loss"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -68,10 +75,12 @@ type Injector struct {
 	streams  []*rng.RNG // per-chain streams for probabilistic injection
 	slowFor  time.Duration
 	cancel   func()
+	kill     func()
 	once     sync.Once
+	killOnce sync.Once
 
 	injected atomic.Int64
-	fired    [5]atomic.Int64 // indexed by Kind
+	fired    [7]atomic.Int64 // indexed by Kind
 }
 
 // New returns an Injector whose probabilistic decisions derive from seed.
@@ -114,12 +123,19 @@ func (in *Injector) WithCancel(fn func()) *Injector {
 	return in
 }
 
+// WithWorkerKill sets the function a WorkerLoss injection invokes (at
+// most once) — typically the hosting cluster worker's Kill method.
+func (in *Injector) WithWorkerKill(fn func()) *Injector {
+	in.kill = fn
+	return in
+}
+
 // Injected returns the total number of faults fired.
 func (in *Injector) Injected() int64 { return in.injected.Load() }
 
 // Fired returns how many times kind k fired.
 func (in *Injector) Fired(k Kind) int64 {
-	if k < Panic || k > Cancel {
+	if k < Panic || k > WorkerLoss {
 		return 0
 	}
 	return in.fired[k].Load()
@@ -155,6 +171,10 @@ func (in *Injector) Hook(chain, iter int) mcmc.FaultAction {
 	case Cancel:
 		if in.cancel != nil {
 			in.once.Do(in.cancel)
+		}
+	case WorkerLoss:
+		if in.kill != nil {
+			in.killOnce.Do(in.kill)
 		}
 	}
 	return mcmc.FaultActNone

@@ -77,7 +77,7 @@ func sameChainDraws(t *testing.T, label string, a, b *mcmc.Result) {
 // draw — fault included.
 func TestFaultMatrix(t *testing.T) {
 	samplers := []mcmc.SamplerKind{mcmc.MetropolisHastings, mcmc.HMC, mcmc.NUTS}
-	kinds := []Kind{Panic, NonFinite, Slow, Cancel}
+	kinds := []Kind{Panic, NonFinite, Slow, Cancel, WorkerLoss}
 	for _, kind := range samplers {
 		kind := kind
 		for _, fk := range kinds {
@@ -91,9 +91,50 @@ func TestFaultMatrix(t *testing.T) {
 					testSlow(t, kind)
 				case Cancel:
 					testCancel(t, kind)
+				case WorkerLoss:
+					testWorkerLoss(t, kind)
 				}
 			})
 		}
+	}
+}
+
+// testWorkerLoss: a WorkerLoss injection invokes the kill function at
+// most once no matter how many injection sites fire — the engine-level
+// contract the cluster worker's Kill (abrupt death: cancel everything,
+// upload nothing) relies on. The kill here cancels the run, standing in
+// for the worker process dying under the sampler.
+func testWorkerLoss(t *testing.T, kind mcmc.SamplerKind) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var kills int
+	inj := New(7).
+		Schedule(faultChain, faultIter, WorkerLoss).
+		Schedule(faultChain+1, faultIter, WorkerLoss)
+	inj.WithWorkerKill(func() {
+		kills++
+		cancel()
+	})
+	cfg := baseConfig(kind)
+	cfg.StopRule = nil
+	cfg.Progress = func(int) {} // lockstep: aligned prefixes after the kill
+	cfg.FaultHook = inj.Hook
+	res := mcmc.RunContext(ctx, cfg, target)
+
+	if kills != 1 {
+		t.Fatalf("worker kill invoked %d times, want exactly 1 (killOnce)", kills)
+	}
+	if fired := inj.Fired(WorkerLoss); fired < 1 {
+		t.Fatalf("worker-loss fired %d times, want >=1", fired)
+	}
+	if !res.Interrupted {
+		t.Fatal("killed run not marked interrupted")
+	}
+	if len(res.Faults()) != 0 {
+		t.Fatalf("worker loss must not quarantine chains (the whole node died): %v", res.Faults())
+	}
+	if res.Iterations < faultIter || res.Iterations >= iterations {
+		t.Errorf("Iterations = %d, want in [%d, %d)", res.Iterations, faultIter, iterations)
 	}
 }
 

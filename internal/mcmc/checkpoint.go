@@ -258,6 +258,24 @@ func (ck *Checkpoint) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash over the encoded checkpoint —
+// a cheap identity for handoff plumbing (a coordinator can log or compare
+// what a worker uploaded without decoding it). Because floats serialize
+// as exact IEEE-754 bit patterns, equal fingerprints of same-length
+// encodings mean bit-identical sampler state.
+func (ck *Checkpoint) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range ck.Encode() {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 // DecodeCheckpoint parses a checkpoint previously produced by Encode. It
 // validates the magic, version, and internal lengths, returning a
 // descriptive error on any corruption.

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"bayessuite/internal/hw"
+)
+
+// Node is one fleet worker's placement-relevant state, as reported by its
+// capability probe: the hardware facts the predictor scales against and
+// the live load the tie-breaks spread against.
+type Node struct {
+	ID           string
+	LLCBytes     int64
+	FrequencyGHz float64
+	Cores        int
+	// Slots is the worker's job-runner pool size; Running is its live job
+	// count. A node with no free slot is never a placement candidate —
+	// granting it work would queue, not run.
+	Slots   int
+	Running int
+	// GradBatch reports cross-chain gradient batching support.
+	GradBatch bool
+}
+
+// FreeSlots returns the node's open job-runner capacity.
+func (n Node) FreeSlots() int { return n.Slots - n.Running }
+
+// Occupancy returns Running/Slots (1 when the node has no slots).
+func (n Node) Occupancy() float64 {
+	if n.Slots <= 0 {
+		return 1
+	}
+	return float64(n.Running) / float64(n.Slots)
+}
+
+// Fleet generalizes the paper's two-platform scheduler (§V) to a
+// heterogeneous fleet. The paper's rule is binary: LLC-bound jobs go to
+// the big-LLC server, the rest to the high-frequency desktop. With N
+// heterogeneous nodes the same mechanism becomes capacity-relative: the
+// predictor's LLC-bound threshold was calibrated against one platform's
+// LLC, so each node's effective threshold scales by the ratio of its LLC
+// to the calibration LLC — a job is "LLC-bound on this node" when its
+// working set exceeds that node's scaled threshold. Placement then picks,
+// among nodes with a free slot:
+//
+//   - the highest-frequency node where the job fits (frequency wins when
+//     the LLC is not the bottleneck — the paper's Skylake rule), breaking
+//     frequency ties toward the least-occupied node, then by ID;
+//   - when the job fits nowhere, the largest-LLC node (it minimizes the
+//     miss volume — the paper's Broadwell rule), same tie-breaks.
+//
+// Without a predictor (no linear regime in the calibration set), every
+// placement is frequency-first, mirroring the single-box fallback.
+type Fleet struct {
+	// Predictor is the fitted LLC model, or nil for frequency-first.
+	Predictor *Predictor
+	// CalibLLCBytes is the LLC size of the platform the predictor was
+	// calibrated on (default: Skylake's, the suite-calibration platform).
+	CalibLLCBytes int64
+}
+
+// NewFleet returns a fleet scheduler around a fitted predictor (nil for
+// frequency-first) calibrated on the default Skylake-sized LLC.
+func NewFleet(p *Predictor) *Fleet {
+	return &Fleet{Predictor: p, CalibLLCBytes: hw.Skylake.LLCBytes}
+}
+
+// ThresholdKB returns the node's effective LLC-bound threshold: the
+// calibrated threshold scaled by the node's LLC capacity relative to the
+// calibration platform's. A node with 5× the calibration LLC keeps 5×
+// the working set resident, so its linear-MPKI regime starts 5× later.
+// Returns 0 when the fleet has no predictor.
+func (f *Fleet) ThresholdKB(n Node) float64 {
+	if f.Predictor == nil || f.CalibLLCBytes <= 0 {
+		return 0
+	}
+	return f.Predictor.ThresholdKB * float64(n.LLCBytes) / float64(f.CalibLLCBytes)
+}
+
+// PredictMPKI returns the predicted 4-core LLC MPKI for a job of the
+// given modeled size on the node, by evaluating the calibrated predictor
+// at the capacity-normalized size (0 without a predictor).
+func (f *Fleet) PredictMPKI(n Node, modeledKB float64) float64 {
+	if f.Predictor == nil || f.CalibLLCBytes <= 0 || n.LLCBytes <= 0 {
+		return 0
+	}
+	scale := float64(n.LLCBytes) / float64(f.CalibLLCBytes)
+	return f.Predictor.Predict(modeledKB / scale)
+}
+
+// FleetAssignment is one job's fleet placement decision.
+type FleetAssignment struct {
+	Node          Node
+	ModeledDataKB float64
+	// PredictedMPKI is the predicted miss rate on the chosen node.
+	PredictedMPKI float64
+	// LLCBound: the job exceeds the chosen node's scaled threshold (it
+	// fits nowhere and was sent to the largest LLC).
+	LLCBound bool
+	// Fits: the job is below the chosen node's scaled threshold.
+	Fits bool
+	// FrequencyFirst marks the no-predictor fallback policy.
+	FrequencyFirst bool
+	// Reason explains the decision in one sentence.
+	Reason string
+}
+
+// Place picks a node for a job of the given modeled size among the
+// candidate nodes. ok=false when no candidate has a free slot — the
+// caller should leave the job queued until a heartbeat frees one.
+func (f *Fleet) Place(job string, modeledBytes int, nodes []Node) (FleetAssignment, bool) {
+	kb := float64(modeledBytes) / 1024
+	free := make([]Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.FreeSlots() > 0 {
+			free = append(free, n)
+		}
+	}
+	if len(free) == 0 {
+		return FleetAssignment{ModeledDataKB: kb}, false
+	}
+
+	if f.Predictor == nil {
+		n := pickBest(free, byFrequency)
+		return FleetAssignment{
+			Node:           n,
+			ModeledDataKB:  kb,
+			FrequencyFirst: true,
+			Fits:           true,
+			Reason: fmt.Sprintf("frequency-first fallback: no trustworthy LLC predictor, %s placed on the fastest free node %s (%.1f GHz)",
+				job, n.ID, n.FrequencyGHz),
+		}, true
+	}
+
+	fits := make([]Node, 0, len(free))
+	for _, n := range free {
+		if kb < f.ThresholdKB(n) {
+			fits = append(fits, n)
+		}
+	}
+	if len(fits) > 0 {
+		// The LLC is not the bottleneck on these nodes: frequency wins
+		// (the paper's Skylake rule), occupancy spreads ties.
+		n := pickBest(fits, byFrequency)
+		return FleetAssignment{
+			Node:          n,
+			ModeledDataKB: kb,
+			PredictedMPKI: f.PredictMPKI(n, kb),
+			Fits:          true,
+			Reason: fmt.Sprintf("modeled data %.1f KB fits below %s's %.0f KB scaled LLC-bound threshold → fastest fitting node (%.1f GHz, occupancy %.2f)",
+				kb, n.ID, f.ThresholdKB(n), n.FrequencyGHz, n.Occupancy()),
+		}, true
+	}
+	// LLC-bound everywhere: the largest LLC minimizes miss volume (the
+	// paper's Broadwell rule).
+	n := pickBest(free, byLLC)
+	return FleetAssignment{
+		Node:          n,
+		ModeledDataKB: kb,
+		PredictedMPKI: f.PredictMPKI(n, kb),
+		LLCBound:      true,
+		Reason: fmt.Sprintf("modeled data %.1f KB exceeds every free node's scaled threshold (LLC-bound fleet-wide) → largest LLC %s (%d MB, occupancy %.2f)",
+			kb, n.ID, n.LLCBytes>>20, n.Occupancy()),
+	}, true
+}
+
+// byFrequency ranks a node for frequency-first selection: frequency
+// descending, then occupancy ascending, then ID ascending. Returns true
+// when a beats b.
+func byFrequency(a, b Node) bool {
+	if a.FrequencyGHz != b.FrequencyGHz {
+		return a.FrequencyGHz > b.FrequencyGHz
+	}
+	if ao, bo := a.Occupancy(), b.Occupancy(); ao != bo {
+		return ao < bo
+	}
+	return a.ID < b.ID
+}
+
+// byLLC ranks a node for largest-LLC selection: LLC descending, then
+// occupancy ascending, then ID ascending.
+func byLLC(a, b Node) bool {
+	if a.LLCBytes != b.LLCBytes {
+		return a.LLCBytes > b.LLCBytes
+	}
+	if ao, bo := a.Occupancy(), b.Occupancy(); ao != bo {
+		return ao < bo
+	}
+	return a.ID < b.ID
+}
+
+// pickBest returns the top node under the given ranking. Deterministic:
+// rankings end in the ID tie-break, so equal fleets place equally.
+func pickBest(nodes []Node, less func(a, b Node) bool) Node {
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	return sorted[0]
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bayessuite/internal/hw"
+)
+
+// testPredictor returns a predictor with a 100 KB LLC-bound threshold
+// calibrated (by convention) on the Skylake LLC.
+func testPredictor() *Predictor {
+	return &Predictor{Slope: 0.01, Intercept: 0.1, ThresholdKB: 100}
+}
+
+func skyNode(id string) Node {
+	return Node{ID: id, LLCBytes: hw.Skylake.LLCBytes, FrequencyGHz: hw.Skylake.TurboGHz, Cores: hw.Skylake.Cores, Slots: 1}
+}
+
+func bdwNode(id string) Node {
+	return Node{ID: id, LLCBytes: hw.Broadwell.LLCBytes, FrequencyGHz: hw.Broadwell.TurboGHz, Cores: hw.Broadwell.Cores, Slots: 1}
+}
+
+// TestFleetThresholdScaling checks the capacity-relative threshold: a
+// node with k× the calibration LLC gets a k× threshold.
+func TestFleetThresholdScaling(t *testing.T) {
+	f := NewFleet(testPredictor())
+	if got := f.ThresholdKB(skyNode("s")); got != 100 {
+		t.Fatalf("calibration-platform threshold %v, want 100", got)
+	}
+	scale := float64(hw.Broadwell.LLCBytes) / float64(hw.Skylake.LLCBytes)
+	if got, want := f.ThresholdKB(bdwNode("b")), 100*scale; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("broadwell threshold %v, want %v (scaled by LLC ratio %v)", got, want, scale)
+	}
+	if got := (&Fleet{}).ThresholdKB(skyNode("s")); got != 0 {
+		t.Fatalf("no-predictor threshold %v, want 0", got)
+	}
+}
+
+// TestFleetTwoPlatformEquivalence reproduces the paper's binary rule on
+// the paper's own pair: below the Skylake threshold the high-frequency
+// Skylake wins; above it (but below Broadwell's scaled threshold) the
+// job goes to Broadwell because it only fits there; above both, the
+// largest LLC takes it as LLC-bound.
+func TestFleetTwoPlatformEquivalence(t *testing.T) {
+	f := NewFleet(testPredictor())
+	nodes := []Node{skyNode("sky"), bdwNode("bdw")}
+
+	small, ok := f.Place("j", 50*1024, nodes)
+	if !ok || small.Node.ID != "sky" || !small.Fits || small.LLCBound {
+		t.Fatalf("small job placed %+v, want sky (fits, frequency rule)", small)
+	}
+	// 200 KB: over Skylake's 100 KB threshold, under Broadwell's 500 KB.
+	mid, ok := f.Place("j", 200*1024, nodes)
+	if !ok || mid.Node.ID != "bdw" || !mid.Fits {
+		t.Fatalf("mid job placed %+v, want bdw (only fitting node)", mid)
+	}
+	// 1 MB: over both thresholds → LLC-bound, largest LLC.
+	big, ok := f.Place("j", 1024*1024, nodes)
+	if !ok || big.Node.ID != "bdw" || !big.LLCBound || big.Fits {
+		t.Fatalf("big job placed %+v, want bdw (LLC-bound, largest LLC)", big)
+	}
+	if !strings.Contains(big.Reason, "LLC-bound") {
+		t.Fatalf("big job reason %q, want LLC-bound explanation", big.Reason)
+	}
+}
+
+// TestFleetOccupancyTieBreak: equal-frequency nodes split by occupancy,
+// then by ID.
+func TestFleetOccupancyTieBreak(t *testing.T) {
+	f := NewFleet(testPredictor())
+	a, b := skyNode("a"), skyNode("b")
+	a.Slots, a.Running = 2, 1 // occupancy 0.5
+	b.Slots, b.Running = 2, 0 // occupancy 0
+	got, ok := f.Place("j", 10*1024, []Node{a, b})
+	if !ok || got.Node.ID != "b" {
+		t.Fatalf("placed on %q, want b (lower occupancy)", got.Node.ID)
+	}
+	b.Running = 1 // tie on occupancy → ID ascending
+	got, ok = f.Place("j", 10*1024, []Node{b, a})
+	if !ok || got.Node.ID != "a" {
+		t.Fatalf("placed on %q, want a (ID tie-break)", got.Node.ID)
+	}
+}
+
+// TestFleetNoFreeSlots: a fully-busy fleet places nothing — the job
+// stays queued.
+func TestFleetNoFreeSlots(t *testing.T) {
+	f := NewFleet(testPredictor())
+	busy := skyNode("a")
+	busy.Running = busy.Slots
+	if _, ok := f.Place("j", 10*1024, []Node{busy}); ok {
+		t.Fatal("placed a job on a fleet with no free slots")
+	}
+	if _, ok := f.Place("j", 10*1024, nil); ok {
+		t.Fatal("placed a job on an empty fleet")
+	}
+}
+
+// TestFleetFrequencyFirstFallback: without a predictor every placement
+// is frequency-first, regardless of size.
+func TestFleetFrequencyFirstFallback(t *testing.T) {
+	f := NewFleet(nil)
+	got, ok := f.Place("j", 10*1024*1024, []Node{bdwNode("bdw"), skyNode("sky")})
+	if !ok || got.Node.ID != "sky" || !got.FrequencyFirst {
+		t.Fatalf("fallback placed %+v, want sky via frequency-first", got)
+	}
+}
+
+// TestFleetPredictMPKI: the predictor is evaluated at the
+// capacity-normalized size, so the same job predicts a lower miss rate
+// on a bigger LLC.
+func TestFleetPredictMPKI(t *testing.T) {
+	f := NewFleet(testPredictor())
+	kb := 400.0
+	sky := f.PredictMPKI(skyNode("s"), kb)
+	bdw := f.PredictMPKI(bdwNode("b"), kb)
+	if sky <= bdw {
+		t.Fatalf("MPKI sky %v <= bdw %v; the larger LLC must predict fewer misses", sky, bdw)
+	}
+	scale := float64(hw.Broadwell.LLCBytes) / float64(hw.Skylake.LLCBytes)
+	if want := f.Predictor.Predict(kb / scale); bdw != want {
+		t.Fatalf("broadwell MPKI %v, want predictor at normalized size %v", bdw, want)
+	}
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -123,6 +125,89 @@ func TestHTTPErrors(t *testing.T) {
 	close(gate)
 	if _, err := c.Wait(ctx, blocked.ID, 20*time.Millisecond); err != nil {
 		t.Fatalf("wait blocker: %v", err)
+	}
+}
+
+// TestHTTPReadyzCapabilityNegotiation: a bare probe keeps the legacy
+// {"status"} body, while Accept: application/json opts into the full
+// capability document the cluster coordinator reads fleet facts from.
+func TestHTTPReadyzCapabilityNegotiation(t *testing.T) {
+	s := NewServer(Config{Workers: 3, QueueCap: 8, Node: "probe-node", Predictor: testPredictor()})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	get := func(accept string) (int, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/readyz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decoding readyz body: %v", err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, bare := get("")
+	if code != http.StatusOK {
+		t.Fatalf("bare readyz = %d, want 200", code)
+	}
+	if bare["status"] != "ready" || len(bare) != 1 {
+		t.Fatalf("bare readyz body %v, want exactly {\"status\": \"ready\"}", bare)
+	}
+	if _, wildcard := get("*/*"); len(wildcard) != 1 {
+		t.Fatalf("Accept: */* body %v, want the legacy bare form", wildcard)
+	}
+
+	code, full := get("application/json; q=0.9, text/plain")
+	if code != http.StatusOK {
+		t.Fatalf("capability readyz = %d, want 200", code)
+	}
+	if full["node"] != "probe-node" || full["role"] != "node" {
+		t.Fatalf("capability identity %v/%v, want probe-node/node", full["node"], full["role"])
+	}
+	if full["slots"] != float64(3) || full["llc_bytes"] == float64(0) || full["frequency_ghz"] == float64(0) {
+		t.Fatalf("capability hardware facts %v, want 3 slots and non-zero LLC/frequency", full)
+	}
+	if full["grad_batch"] != true {
+		t.Fatalf("capability grad_batch %v, want true", full["grad_batch"])
+	}
+
+	// Draining flips both forms to 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if code, body := get(""); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("bare readyz after drain = %d %v, want 503 draining", code, body)
+	}
+	if code, body := get("application/json"); code != http.StatusServiceUnavailable || body["draining"] != true {
+		t.Fatalf("capability readyz after drain = %d %v, want 503 with draining:true", code, body)
+	}
+}
+
+// TestHTTPStatsNodeLabel: single-process stats carry the node label so
+// they compose into the coordinator's per-worker fleet sections.
+func TestHTTPStatsNodeLabel(t *testing.T) {
+	_, c := testAPI(t, Config{Workers: 1, QueueCap: 4, Node: "solo"})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Node != "solo" {
+		t.Fatalf("stats node %q, want solo", stats.Node)
 	}
 }
 

@@ -1,0 +1,116 @@
+package serve
+
+import "sync"
+
+// Queue is the bounded admission queue at the front of every bayesd
+// control plane: the single-process Server feeds its worker pool from one,
+// and the cluster coordinator feeds worker leases from one. Admission is
+// backpressure, not buffering — Offer fails fast with ErrQueueFull at
+// capacity — while Requeue (re-admitting work that already passed
+// admission once, e.g. a job migrating off a lost worker) prepends and is
+// exempt from the bound, so a fleet failure can never be amplified into
+// client-visible job loss by a full queue.
+//
+// Close drains, matching the Server's shutdown semantics: items already
+// admitted are still handed out (the consumer decides whether to run or
+// cancel them), new Offers fail with ErrDraining, and Pop returns ok=false
+// once the queue is both closed and empty.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	capacity int
+	items    []T
+	closed   bool
+}
+
+// NewQueue returns a queue admitting at most capacity items at a time.
+func NewQueue[T any](capacity int) *Queue[T] {
+	q := &Queue[T]{capacity: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Offer admits v, failing with ErrQueueFull at capacity and ErrDraining
+// after Close.
+func (q *Queue[T]) Offer(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if len(q.items) >= q.capacity {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, v)
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// Requeue re-admits v at the front of the queue. It bypasses the capacity
+// bound — v was admitted once already and its slot accounting ended when a
+// consumer popped it — so recovery (retry, migration off a dead worker)
+// never fails on backpressure meant for new work. It still fails with
+// ErrDraining after Close.
+func (q *Queue[T]) Requeue(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	q.items = append([]T{v}, q.items...)
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available and removes it, returning ok=false
+// once the queue is closed and drained.
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopWhere removes and returns the first item matching the predicate,
+// preserving the order of everything it skips. It never blocks: ok=false
+// means no queued item matched right now. The predicate must not call back
+// into the queue.
+func (q *Queue[T]) PopWhere(match func(T) bool) (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	for i, v := range q.items {
+		if match(v) {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = zero
+			q.items = q.items[:len(q.items)-1]
+			return v, true
+		}
+	}
+	return zero, false
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close stops admission and wakes every blocked Pop. Items still queued
+// remain poppable (drain semantics); Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmpty.Broadcast()
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueueOfferBackpressure: Offer fails fast at capacity and recovers
+// once a consumer pops.
+func TestQueueOfferBackpressure(t *testing.T) {
+	q := NewQueue[int](2)
+	if err := q.Offer(1); err != nil {
+		t.Fatalf("offer 1: %v", err)
+	}
+	if err := q.Offer(2); err != nil {
+		t.Fatalf("offer 2: %v", err)
+	}
+	if err := q.Offer(3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("offer at capacity: %v, want ErrQueueFull", err)
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("pop = %v, %v; want 1, true (FIFO)", v, ok)
+	}
+	if err := q.Offer(3); err != nil {
+		t.Fatalf("offer after pop: %v", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len %d, want 2", q.Len())
+	}
+}
+
+// TestQueueRequeuePrependsAndBypassesCapacity: requeued work lands at
+// the front and is exempt from the admission bound.
+func TestQueueRequeuePrependsAndBypassesCapacity(t *testing.T) {
+	q := NewQueue[int](1)
+	if err := q.Offer(1); err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	if err := q.Requeue(99); err != nil {
+		t.Fatalf("requeue over capacity: %v, want nil (recovery is exempt)", err)
+	}
+	if v, _ := q.Pop(); v != 99 {
+		t.Fatalf("pop = %v, want the requeued 99 first", v)
+	}
+	if v, _ := q.Pop(); v != 1 {
+		t.Fatalf("pop = %v, want 1", v)
+	}
+}
+
+// TestQueuePopBlocksUntilOffer: Pop waits for work without spinning.
+func TestQueuePopBlocksUntilOffer(t *testing.T) {
+	q := NewQueue[string](4)
+	got := make(chan string, 1)
+	go func() {
+		v, ok := q.Pop()
+		if !ok {
+			v = "<closed>"
+		}
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("pop returned %q before any offer", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := q.Offer("work"); err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != "work" {
+			t.Fatalf("pop = %q, want work", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pop never woke after offer")
+	}
+}
+
+// TestQueuePopWhere: predicate selection preserves the order of skipped
+// items and never blocks.
+func TestQueuePopWhere(t *testing.T) {
+	q := NewQueue[int](8)
+	for _, v := range []int{1, 2, 3, 4} {
+		if err := q.Offer(v); err != nil {
+			t.Fatalf("offer %d: %v", v, err)
+		}
+	}
+	v, ok := q.PopWhere(func(v int) bool { return v%2 == 0 })
+	if !ok || v != 2 {
+		t.Fatalf("popWhere even = %v, %v; want 2, true", v, ok)
+	}
+	if _, ok := q.PopWhere(func(v int) bool { return v > 100 }); ok {
+		t.Fatal("popWhere matched nothing but reported ok")
+	}
+	var rest []int
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		rest = append(rest, v)
+	}
+	if len(rest) != 3 || rest[0] != 1 || rest[1] != 3 || rest[2] != 4 {
+		t.Fatalf("remaining order %v, want [1 3 4]", rest)
+	}
+}
+
+// TestQueueCloseDrains: Close fails new admission (Offer and Requeue),
+// wakes blocked Pops, and keeps queued items poppable until empty.
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[int](4)
+	if err := q.Offer(7); err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	results := make(chan bool, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, ok := q.Pop()
+			results <- ok
+		}()
+	}
+	q.Close()
+	q.Close() // idempotent
+	wg.Wait()
+	close(results)
+	oks := 0
+	for ok := range results {
+		if ok {
+			oks++
+		}
+	}
+	if oks != 1 {
+		t.Fatalf("%d pops got items after close, want exactly 1 (the queued item drains)", oks)
+	}
+	if err := q.Offer(8); !errors.Is(err, ErrDraining) {
+		t.Fatalf("offer after close: %v, want ErrDraining", err)
+	}
+	if err := q.Requeue(8); !errors.Is(err, ErrDraining) {
+		t.Fatalf("requeue after close: %v, want ErrDraining", err)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on closed empty queue reported ok")
+	}
+}

@@ -85,11 +85,15 @@ type RHatPoint struct {
 }
 
 // PlacementDecision is where a job was placed and why — the serving-layer
-// form of the paper's §V-A mechanism.
+// form of the paper's §V-A mechanism, generalized by the cluster
+// coordinator from the two-platform box to a heterogeneous fleet.
 type PlacementDecision struct {
+	// Node, when set, names the fleet worker the job was placed on
+	// (cluster mode; empty in single-process mode).
+	Node string `json:"node,omitempty"`
 	// Platform/Processor identify the simulated machine (Table II).
 	Platform  string `json:"platform"`
-	Processor string `json:"processor"`
+	Processor string `json:"processor,omitempty"`
 	// ModeledDataKB is the predictor's input feature.
 	ModeledDataKB float64 `json:"modeled_data_kb"`
 	// PredictedMPKI is the predicted 4-core LLC MPKI (0 under fallback).
@@ -139,6 +143,9 @@ type JobStatus struct {
 	State JobState `json:"state"`
 	Spec  JobSpec  `json:"spec"`
 	Error string   `json:"error,omitempty"`
+	// Node names the node the job runs (or ran) on: the server's own node
+	// label in single-process mode, the assigned worker in cluster mode.
+	Node string `json:"node,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -148,6 +155,10 @@ type JobStatus struct {
 	// starts). NextRetryAt is set while the job is Retrying.
 	Attempts    int        `json:"attempts,omitempty"`
 	NextRetryAt *time.Time `json:"next_retry_at,omitempty"`
+	// ResumedFrom is the iteration the most recent attempt resumed from:
+	// 0 for a fresh start, >0 after a checkpoint migration (cluster mode)
+	// — the proof a migrated job resumed rather than restarted.
+	ResumedFrom int `json:"resumed_from,omitempty"`
 	// ChainFaults lists the quarantined chains of the most recent attempt.
 	ChainFaults []ChainFaultInfo `json:"chain_faults,omitempty"`
 
@@ -215,15 +226,52 @@ type PlatformStats struct {
 	TotalJobs   int     `json:"total_jobs"`
 }
 
+// Capability is a node's self-description, served by the extended /readyz
+// probe (content-negotiated: clients that ask for application/json get
+// this document, bare probes keep the old {"status"} body) and carried in
+// every cluster lease and heartbeat. The coordinator's fleet-generalized
+// placement runs on these fields: LLC capacity decides where an LLC-bound
+// job can fit, frequency breaks ties the paper's way (§V), and occupancy
+// spreads load across otherwise-equal workers.
+type Capability struct {
+	// Node is the node's unique name; Role is "node" (single-process),
+	// "worker", or "coordinator".
+	Node string `json:"node"`
+	Role string `json:"role"`
+	// Status mirrors the bare probe: "ready" or "draining".
+	Status string `json:"status,omitempty"`
+	// Platform is the simulated platform this node models (Table II
+	// codename); LLCBytes/FrequencyGHz/Cores are its placement-relevant
+	// hardware facts.
+	Platform     string  `json:"platform,omitempty"`
+	LLCBytes     int64   `json:"llc_bytes"`
+	FrequencyGHz float64 `json:"frequency_ghz"`
+	Cores        int     `json:"cores"`
+	// Slots is the node's job-runner pool size; Running and QueueDepth are
+	// its live load; Occupancy is Running/Slots.
+	Slots      int     `json:"slots"`
+	Running    int     `json:"running"`
+	QueueDepth int     `json:"queue_depth"`
+	Occupancy  float64 `json:"occupancy"`
+	// GradBatch reports cross-chain gradient batching support (fused
+	// multi-chain sweeps for batchable workloads).
+	GradBatch bool `json:"grad_batch"`
+	Draining  bool `json:"draining,omitempty"`
+}
+
 // Stats is the /v1/stats response.
 type Stats struct {
-	QueueDepth int `json:"queue_depth"`
-	QueueCap   int `json:"queue_cap"`
-	Running    int `json:"running"`
-	Retrying   int `json:"retrying"`
-	Done       int `json:"done"`
-	Failed     int `json:"failed"`
-	Canceled   int `json:"canceled"`
+	// Node labels which node these counters belong to, so single-process
+	// stats and the per-worker sections of the coordinator's fleet stats
+	// share one schema.
+	Node       string `json:"node"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Running    int    `json:"running"`
+	Retrying   int    `json:"retrying"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Canceled   int    `json:"canceled"`
 
 	// Fault and retry accounting, cumulative since server start:
 	// ChainFaults counts quarantined chains across all runs, Retries
@@ -262,6 +310,7 @@ type Job struct {
 	id        string
 	spec      JobSpec // normalized
 	budget    int
+	node      string // the admitting server's node label
 	submitted time.Time
 
 	mu        sync.Mutex
@@ -318,6 +367,7 @@ func (j *Job) Status() JobStatus {
 		State:           j.state,
 		Spec:            j.spec,
 		Error:           j.errMsg,
+		Node:            j.node,
 		SubmittedAt:     j.submitted,
 		Progress:        j.progress,
 		Budget:          j.budget,

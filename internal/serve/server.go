@@ -43,6 +43,18 @@ type Config struct {
 	// Workers is the number of concurrent job runners (default 2; each
 	// job itself runs its chains on parallel goroutines).
 	Workers int
+	// Node labels this server's stats, job statuses, and capability
+	// document (default "local"). Cluster workers set it to their fleet
+	// name so the coordinator's aggregated stats stay attributable.
+	Node string
+	// Role is reported in the capability document: "node" (default,
+	// single-process), or "worker" when embedded in a cluster worker.
+	Role string
+	// PinnedPlatform, when non-nil, pins every job's placement to one
+	// simulated platform instead of running the two-platform scheduler —
+	// a cluster worker *is* one platform; the fleet-level choice already
+	// happened at the coordinator.
+	PinnedPlatform *hw.Platform
 	// DefaultTimeout bounds each job's running time when the spec does
 	// not set one (default 0: no timeout).
 	DefaultTimeout time.Duration
@@ -69,6 +81,19 @@ type Config struct {
 	// 2s), with deterministic ±25% jitter derived from the job seed.
 	RetryBackoff    time.Duration
 	RetryMaxBackoff time.Duration
+
+	// OnCheckpoint, when non-nil, observes every checkpoint a job takes,
+	// after it is recorded as the job's retry point. Cluster workers use
+	// it to stream checkpoints to the coordinator so a job can migrate to
+	// another worker if this one is lost. Called from the sampling
+	// coordination loop — it must not block longer than one checkpoint
+	// interval is worth.
+	OnCheckpoint func(job *Job, ck *mcmc.Checkpoint)
+	// InjectFaultHook, when non-nil, supplies the mcmc fault hook for each
+	// sampling attempt (attempt is 1-based). It exists for the
+	// fault-injection harness (internal/fault) and the cluster worker-loss
+	// matrix; production configs leave it nil.
+	InjectFaultHook func(job *Job, attempt int) func(chain, iter int) mcmc.FaultAction
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +102,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = 2
+	}
+	if c.Node == "" {
+		c.Node = "local"
+	}
+	if c.Role == "" {
+		c.Role = "node"
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 50
@@ -105,7 +136,7 @@ type Server struct {
 	schedr   *sched.Scheduler
 	predNote string
 
-	queue chan *Job
+	queue *Queue[*Job]
 	wg    sync.WaitGroup
 
 	// Cumulative fault/retry counters (see Stats).
@@ -135,9 +166,10 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueCap),
+		queue: NewQueue[*Job](cfg.QueueCap),
 		jobs:  make(map[string]*Job),
 	}
+	s.injectFaultHook = cfg.InjectFaultHook
 	switch {
 	case cfg.Predictor != nil:
 		s.pred = cfg.Predictor
@@ -169,6 +201,16 @@ func NewServer(cfg Config) *Server {
 // FrequencyFirst reports whether the server is placing jobs without a
 // predictor, and why.
 func (s *Server) FrequencyFirst() (bool, string) { return s.pred == nil, s.predNote }
+
+// Normalize validates spec and fills defaults — the admission-time
+// canonicalization shared by the single-process server and the cluster
+// coordinator. The returned spec has every defaulted field materialized
+// (equal normalized specs ⇒ bit-identical results on any node); the int
+// is the per-chain iteration budget.
+func Normalize(spec JobSpec) (JobSpec, int, error) {
+	norm, budget, _, err := normalize(spec)
+	return norm, budget, err
+}
 
 // normalize validates spec and fills defaults, returning the normalized
 // spec, the iteration budget, and the parsed sampler kind.
@@ -223,9 +265,31 @@ func normalize(spec JobSpec) (JobSpec, int, mcmc.SamplerKind, error) {
 // Submit validates and admits a job. It fails fast with ErrQueueFull when
 // the queue is at capacity and ErrDraining during shutdown.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
-	norm, budget, _, err := normalize(spec)
+	return s.SubmitWithCheckpoint(spec, nil)
+}
+
+// SubmitWithCheckpoint admits a job that resumes sampling from ck instead
+// of initializing fresh chains — the cluster worker's entry point for a
+// job migrating off a lost node. The checkpoint must have been taken by a
+// run of the same normalized spec (sampler, chains, budget, seed); the
+// resumed run is bit-identical, draw for draw, to an uninterrupted run of
+// that spec. A nil ck is a plain Submit.
+func (s *Server) SubmitWithCheckpoint(spec JobSpec, ck *mcmc.Checkpoint) (*Job, error) {
+	norm, budget, kind, err := normalize(spec)
 	if err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		switch {
+		case ck.Sampler != kind:
+			return nil, fmt.Errorf("%w: checkpoint sampler %v, spec wants %v", ErrBadSpec, ck.Sampler, kind)
+		case ck.NumChains != norm.Chains:
+			return nil, fmt.Errorf("%w: checkpoint has %d chains, spec wants %d", ErrBadSpec, ck.NumChains, norm.Chains)
+		case ck.Iterations != budget:
+			return nil, fmt.Errorf("%w: checkpoint budget %d, spec wants %d", ErrBadSpec, ck.Iterations, budget)
+		case ck.Seed != norm.Seed:
+			return nil, fmt.Errorf("%w: checkpoint seed %d, spec wants %d", ErrBadSpec, ck.Seed, norm.Seed)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,17 +297,17 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrDraining
 	}
 	job := &Job{
-		id:        fmt.Sprintf("job-%06d", s.seq+1),
-		spec:      norm,
-		budget:    budget,
-		submitted: time.Now(),
-		state:     Queued,
-		done:      make(chan struct{}),
+		id:         fmt.Sprintf("job-%06d", s.seq+1),
+		spec:       norm,
+		budget:     budget,
+		node:       s.cfg.Node,
+		submitted:  time.Now(),
+		state:      Queued,
+		checkpoint: ck,
+		done:       make(chan struct{}),
 	}
-	select {
-	case s.queue <- job:
-	default:
-		return nil, ErrQueueFull
+	if err := s.queue.Offer(job); err != nil {
+		return nil, err
 	}
 	s.seq++
 	s.jobs[job.id] = job
@@ -316,7 +380,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.Close()
 	}
 	s.mu.Unlock()
 
@@ -393,6 +457,7 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 
 	st := Stats{
+		Node:            s.cfg.Node,
 		QueueCap:        s.cfg.QueueCap,
 		Draining:        draining,
 		PredictorNote:   s.predNote,
@@ -462,12 +527,96 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// Capability is the server's self-description for the extended /readyz
+// probe and (when embedded in a cluster worker) for leases and heartbeats.
+func (s *Server) Capability() Capability {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	running := 0
+	for _, job := range s.snapshot() {
+		job.mu.Lock()
+		if job.state == Running {
+			running++
+		}
+		job.mu.Unlock()
+	}
+	// A pinned worker is one platform; an unpinned node fronts the paper's
+	// two-platform box, and advertises its high-frequency half (the
+	// fallback placement target) as the representative hardware.
+	plat := hw.Skylake
+	if s.cfg.PinnedPlatform != nil {
+		plat = *s.cfg.PinnedPlatform
+	}
+	c := Capability{
+		Node:         s.cfg.Node,
+		Role:         s.cfg.Role,
+		Status:       "ready",
+		Platform:     plat.Codename,
+		LLCBytes:     plat.LLCBytes,
+		FrequencyGHz: plat.TurboGHz,
+		Cores:        plat.Cores,
+		Slots:        s.cfg.Workers,
+		Running:      running,
+		QueueDepth:   s.queue.Len(),
+		GradBatch:    true,
+		Draining:     draining,
+	}
+	if draining {
+		c.Status = "draining"
+	}
+	if c.Slots > 0 {
+		c.Occupancy = float64(c.Running) / float64(c.Slots)
+	}
+	return c
+}
+
+// SubmitJob, GetJob, GetResult, CancelJob, ListJobs, and ServiceStats
+// adapt the Server to the API interface the HTTP layer is written
+// against, so the single-process server and the cluster coordinator share
+// one handler.
+
+func (s *Server) SubmitJob(spec JobSpec) (JobStatus, error) {
+	job, err := s.Submit(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return job.Status(), nil
+}
+
+func (s *Server) GetJob(id string) (JobStatus, error) {
+	job, err := s.Job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return job.Status(), nil
+}
+
+func (s *Server) GetResult(id string) (ResultPayload, bool, error) {
+	job, err := s.Job(id)
+	if err != nil {
+		return ResultPayload{}, false, err
+	}
+	payload, ready := job.Result()
+	return payload, ready, nil
+}
+
+func (s *Server) CancelJob(id string) (JobStatus, error) { return s.Cancel(id) }
+
+func (s *Server) ListJobs() []JobStatus { return s.Jobs() }
+
+func (s *Server) ServiceStats() any { return s.Stats() }
+
 // worker is one pool goroutine: it pops admitted jobs until the queue is
 // closed, skipping jobs canceled while queued and canceling (not running)
 // jobs popped after drain began.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.runJob(job)
 	}
 }
@@ -476,6 +625,18 @@ func (s *Server) worker() {
 // classification when available, frequency-first otherwise.
 func (s *Server) place(name string, modeledBytes int) PlacementDecision {
 	kb := float64(modeledBytes) / 1024
+	if p := s.cfg.PinnedPlatform; p != nil {
+		// Cluster worker: this process *is* one platform; the fleet-level
+		// placement already happened at the coordinator.
+		return PlacementDecision{
+			Platform:      p.Codename,
+			Processor:     p.Processor,
+			Node:          s.cfg.Node,
+			ModeledDataKB: kb,
+			Reason: fmt.Sprintf("pinned to %s: worker %s is a single-platform node (fleet placement happened at the coordinator)",
+				p.Codename, s.cfg.Node),
+		}
+	}
 	if s.pred == nil {
 		return PlacementDecision{
 			Platform:       hw.Skylake.Codename,
@@ -624,6 +785,12 @@ func (s *Server) runJobLocked(job *Job) {
 			job.mu.Lock()
 			job.checkpoint = ck
 			job.mu.Unlock()
+			if s.cfg.OnCheckpoint != nil {
+				// After recording: whatever the observer does (e.g. a
+				// cluster worker uploading to its coordinator), the local
+				// retry point is already current.
+				s.cfg.OnCheckpoint(job, ck)
+			}
 		},
 		ResumeFrom: resume,
 	}
@@ -845,18 +1012,13 @@ func (s *Server) requeue(job *Job) {
 	job.retryTimer = nil
 	job.nextRetry = time.Time{}
 	job.mu.Unlock()
-	select {
-	case s.queue <- job: // safe under s.mu: Shutdown closes queue under s.mu
-	default:
-		// Queue full. The bound is admission backpressure; a retry must
-		// neither evict nor block a worker, so back off again.
-		job.mu.Lock()
-		if job.state == Queued { // no cancel raced the brief unlock
-			job.state = Retrying
-			job.nextRetry = time.Now().Add(s.cfg.RetryBackoff)
-			job.retryTimer = time.AfterFunc(s.cfg.RetryBackoff, func() { s.requeue(job) })
-		}
-		job.mu.Unlock()
+	// A retry re-enters via Requeue: it was admitted once already, so the
+	// capacity bound (backpressure for new work) does not apply, and
+	// prepending means recovery work runs ahead of fresh submissions.
+	// Safe under s.mu: Shutdown closes the queue under s.mu, and the
+	// draining check above already covered that path.
+	if err := s.queue.Requeue(job); err != nil {
+		s.abandonRetry(job, "canceled: server draining with retry pending")
 	}
 }
 
