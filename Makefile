@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt-check vet test race fault-matrix serve-smoke cluster-smoke bench bench-runner bench-json
+.PHONY: ci build fmt-check vet test race fault-matrix serve-smoke cluster-smoke crash-smoke bench bench-runner bench-json
 
-ci: fmt-check vet test race fault-matrix cluster-smoke
+ci: fmt-check vet test race fault-matrix cluster-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -24,16 +24,17 @@ vet:
 	$(GO) vet ./...
 
 # Full suite. internal/bench regenerates paper figures from real sampler
-# runs and is by far the slowest package; give it room.
+# runs and is by far the slowest package; give it room (it can need well
+# over 15 minutes on a small single-core box).
 test:
-	$(GO) test -timeout 900s ./...
+	$(GO) test -timeout 1800s ./...
 
 # Race pass over the packages that run goroutines against shared state:
 # the lockstep worker pool, the free-running parallel chains, the
 # streaming R-hat detector invoked from the coordinator, and the bayesd
 # serving layer (admission queue, worker pool, cancellation).
 race:
-	$(GO) test -race ./internal/mcmc/... ./internal/elide/... ./internal/serve/... ./internal/cluster/...
+	$(GO) test -race ./internal/mcmc/... ./internal/elide/... ./internal/serve/... ./internal/cluster/... ./internal/journal/...
 
 # Deterministic fault-injection matrix under the race detector: every
 # sampler crossed with every injectable fault kind (panic, non-finite,
@@ -41,9 +42,12 @@ race:
 # suites and the serve-layer retry tests they feed. Includes the
 # batched-lockstep column (TestFaultMatrixBatched): faults injected while
 # chains share fused gradient sweeps must quarantine identically, with
-# bit-identical draws and checkpoint-resume replay on the batched path.
+# bit-identical draws and checkpoint-resume replay on the batched path —
+# and the cluster columns: worker loss migration, the network-chaos
+# partition matrix ({HMC,NUTS} × {drop,dup,delay,partition-then-heal}),
+# and coordinator crash-restart from the durable journal.
 fault-matrix:
-	$(GO) test -race -run 'Fault|Checkpoint|Quarantine|Retry|Resume|Injector' \
+	$(GO) test -race -run 'Fault|Checkpoint|Quarantine|Retry|Resume|Injector|NetChaos' \
 		./internal/fault/... ./internal/mcmc/... ./internal/serve/... ./internal/cluster/...
 
 # End-to-end smoke test of the serving daemon: boots bayesd on a random
@@ -61,6 +65,16 @@ serve-smoke:
 # bit against an uninterrupted single-node run.
 cluster-smoke:
 	$(GO) run -race ./cmd/bayesd -cluster-smoke
+
+# Durability smoke under the race detector: a durable coordinator runs as
+# a subprocess, gets SIGKILLed mid-run (after checkpoints have streamed),
+# and is restarted on the same -state-dir and address. The restarted
+# coordinator must replay its journal, requeue the unfinished jobs from
+# their newest fingerprint-verified checkpoints, and every job — still
+# under its original ID — must finish with draws bit-identical to an
+# uninterrupted run.
+crash-smoke:
+	$(GO) run -race ./cmd/bayesd -crash-smoke
 
 # Runner hot-path benchmarks with allocation accounting.
 bench-runner:

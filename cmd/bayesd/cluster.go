@@ -20,9 +20,11 @@ import (
 )
 
 // runCoordinator boots the fleet control plane: calibrate the LLC
-// predictor, start the coordinator, and serve the client API plus the
-// /cluster/v1 worker protocol until a signal drains it.
-func runCoordinator(addr string, queueCap int, seed uint64, node string) error {
+// predictor, start the coordinator (durable when stateDir is set — its
+// journal replays before any lease is granted, while /readyz reports
+// "recovering"), and serve the client API plus the /cluster/v1 worker
+// protocol until a signal drains it.
+func runCoordinator(addr string, queueCap int, seed uint64, node, stateDir string) error {
 	pts, err := serve.SuiteCalibration(seed)
 	if err != nil {
 		return fmt.Errorf("calibrating predictor: %w", err)
@@ -31,12 +33,16 @@ func runCoordinator(addr string, queueCap int, seed uint64, node string) error {
 		Node:              node,
 		QueueCap:          queueCap,
 		CalibrationPoints: pts,
+		StateDir:          stateDir,
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	hs := &http.Server{Handler: co.Handler()}
+	if stateDir != "" {
+		fmt.Printf("bayesd: coordinator %s durable in %s\n", node, stateDir)
+	}
 	fmt.Printf("bayesd: coordinator %s listening on http://%s\n", node, ln.Addr())
 
 	errc := make(chan error, 1)

@@ -9,9 +9,21 @@
 //	bayesd [-addr 127.0.0.1:8080] [-queue 64] [-workers 2]
 //	       [-timeout 0] [-seed 7] [-retries 2]
 //	bayesd -smoke          # boot on a random port, run one job end-to-end
-//	bayesd -coordinator [-node NAME]                 # fleet control plane
+//	bayesd -coordinator [-node NAME] [-state-dir DIR]   # fleet control plane
 //	bayesd -worker URL [-node NAME] [-platform P] [-slots N]
 //	bayesd -cluster-smoke  # coordinator + 2 workers + migration self-test
+//	bayesd -crash-smoke    # SIGKILL a durable coordinator mid-run; restart;
+//	                       # draws must be bit-identical to an unfaulted run
+//
+// With -state-dir the coordinator is durable: every acknowledged state
+// transition (admit, lease, checkpoint, result, cancel, requeue) is
+// journaled and fsynced under DIR before the acknowledgment leaves, with
+// checkpoints and result draws in a content-addressed blob store. A
+// coordinator restarted on the same DIR replays the journal, reports
+// "recovering" on /readyz until done, and requeues unfinished jobs from
+// their newest fingerprint-verified checkpoints — clients keep their job
+// IDs, and the deterministic sampler contract makes the re-run draws
+// bit-identical to an uninterrupted run.
 //
 // In cluster mode the coordinator serves the same client API as a single
 // node plus the /cluster/v1 worker protocol; workers pull leases from it,
@@ -57,6 +69,8 @@ func main() {
 	platform := flag.String("platform", "Skylake", "simulated platform for -worker mode (Skylake or Broadwell)")
 	slots := flag.Int("slots", 1, "concurrent job slots for -worker mode")
 	clusterSmoke := flag.Bool("cluster-smoke", false, "self-test: coordinator + two workers in one process; verifies fleet placement and that a job migrated off a killed worker yields bit-identical draws")
+	stateDir := flag.String("state-dir", "", "durable coordinator state directory (journal + blob store); a restarted coordinator replays it and resumes unfinished jobs from their checkpoints")
+	crashSmoke := flag.Bool("crash-smoke", false, "self-test: SIGKILL a durable coordinator subprocess mid-run, restart it on the same -state-dir, and verify every job finishes with draws bit-identical to an uninterrupted run")
 	flag.Parse()
 
 	switch {
@@ -72,12 +86,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("bayesd: CLUSTER SMOKE PASS")
+	case *crashSmoke:
+		if err := runCrashSmoke(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bayesd: CRASH SMOKE FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bayesd: CRASH SMOKE PASS")
 	case *coordinator:
 		name := *node
 		if name == "" {
 			name = "coordinator"
 		}
-		if err := runCoordinator(*addr, *queueCap, *seed, name); err != nil {
+		if err := runCoordinator(*addr, *queueCap, *seed, name, *stateDir); err != nil {
 			fmt.Fprintln(os.Stderr, "bayesd:", err)
 			os.Exit(1)
 		}

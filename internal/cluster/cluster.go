@@ -95,9 +95,14 @@ type HeartbeatResponse struct {
 // ResultUpload is a worker's terminal report for one job: the final
 // status, the result payload clients will read, and the raw draw bytes
 // (EncodeDraws) that make coordinator-side bit-identity checks possible.
+// Attempt is the upload's sequence number — the lease attempt that
+// produced it — so duplicated deliveries deduplicate idempotently and a
+// stale local run finishing after its lease was superseded (migration,
+// coordinator restart) is rejected rather than clobbering the live one.
 type ResultUpload struct {
 	Worker   string              `json:"worker"`
 	JobID    string              `json:"job_id"`
+	Attempt  int                 `json:"attempt,omitempty"`
 	Status   serve.JobStatus     `json:"status"`
 	Payload  serve.ResultPayload `json:"payload"`
 	DrawsB64 string              `json:"draws_b64,omitempty"`
@@ -128,6 +133,8 @@ type FleetStats struct {
 	Workers  int    `json:"workers"`
 	Healthy  int    `json:"healthy_workers"`
 	Draining bool   `json:"draining,omitempty"`
+	// Recovering: a durable coordinator is still replaying its journal.
+	Recovering bool `json:"recovering,omitempty"`
 
 	// Coordinator admission-queue state.
 	QueueDepth int `json:"queue_depth"`
@@ -144,6 +151,13 @@ type FleetStats struct {
 	// Reaped counts workers declared lost.
 	Migrations int64 `json:"migrations"`
 	Reaped     int64 `json:"reaped_workers"`
+
+	// Checkpoint retention: the coordinator keeps only each unfinished
+	// job's newest fingerprint-verified checkpoint. Retained is that live
+	// count; GCed counts superseded or finished-job snapshots released
+	// (memory and, in durable mode, blob store) since process start.
+	CheckpointsRetained int   `json:"checkpoints_retained"`
+	CheckpointsGCed     int64 `json:"checkpoints_gced"`
 
 	// Fleet-wide rollups summed over worker heartbeat stats.
 	ChainFaults     int64   `json:"chain_faults"`

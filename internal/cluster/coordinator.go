@@ -40,6 +40,20 @@ type CoordinatorConfig struct {
 	// lost worker before it fails (default 3; -1 disables migration
 	// entirely — worker loss fails the job).
 	MaxMigrations int
+	// StateDir, when non-empty, makes the coordinator durable: every
+	// state transition is journaled (fsynced before acknowledgment) under
+	// this directory, checkpoints and result draws land in a
+	// content-addressed blob store, and a restarted coordinator replays
+	// the journal, requeues unfinished jobs from their newest
+	// fingerprint-verified checkpoints, and reports "recovering" on
+	// /readyz until replay completes. Empty keeps the pre-durability
+	// in-memory coordinator.
+	StateDir string
+
+	// recoverGate, when non-nil, stalls recovery until the channel
+	// closes — a test hook for observing the "recovering" state
+	// deterministically.
+	recoverGate <-chan struct{}
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -90,12 +104,14 @@ type clusterJob struct {
 	cancelCause     string
 
 	checkpoint *mcmc.Checkpoint // last uploaded all-healthy snapshot
+	ckptAddr   string           // blob address of checkpoint (durable mode)
 	placement  *serve.PlacementDecision
 
 	// Terminal upload from the worker that finished the job.
 	finalStatus *serve.JobStatus
 	result      *serve.ResultPayload
 	draws       []byte // EncodeDraws block
+	drawsAddr   string // blob address of draws (durable mode)
 
 	done chan struct{}
 }
@@ -130,9 +146,21 @@ type Coordinator struct {
 
 	migrations atomic.Int64
 	reaped     atomic.Int64
+	ckptGCed   atomic.Int64
+
+	// Durability (StateDir set). store is written once, during recovery,
+	// before recovered closes; recovered gates every job-touching API
+	// method. recoverErr is set before recovered closes. jinfo (guarded
+	// by mu) is the replay report surfaced on /readyz.
+	store      *durableStore
+	recovering atomic.Bool
+	recovered  chan struct{}
+	recoverErr error
+	jinfo      *serve.JournalStatus
 
 	reapStop chan struct{}
 	reapDone chan struct{}
+	stopOnce sync.Once
 }
 
 // NewCoordinator builds the coordinator, fits the fleet predictor if
@@ -140,12 +168,13 @@ type Coordinator struct {
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	cfg = cfg.withDefaults()
 	co := &Coordinator{
-		cfg:      cfg,
-		queue:    serve.NewQueue[*clusterJob](cfg.QueueCap),
-		jobs:     make(map[string]*clusterJob),
-		workers:  make(map[string]*workerState),
-		reapStop: make(chan struct{}),
-		reapDone: make(chan struct{}),
+		cfg:       cfg,
+		queue:     serve.NewQueue[*clusterJob](cfg.QueueCap),
+		jobs:      make(map[string]*clusterJob),
+		workers:   make(map[string]*workerState),
+		recovered: make(chan struct{}),
+		reapStop:  make(chan struct{}),
+		reapDone:  make(chan struct{}),
 	}
 	var pred *sched.Predictor
 	switch {
@@ -165,6 +194,15 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		co.predNote = "no calibration provided"
 	}
 	co.fleet = sched.NewFleet(pred)
+	if cfg.StateDir != "" {
+		// Durable: replay asynchronously so /readyz and /v1/stats can
+		// report "recovering" while the journal rebuilds state. The reaper
+		// waits for recovery too.
+		co.recovering.Store(true)
+		go co.runRecovery()
+	} else {
+		close(co.recovered)
+	}
 	go co.reaper()
 	return co
 }
@@ -173,6 +211,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 // constructed once here to size its modeled data — the feature the fleet
 // placement runs on — then discarded; the assigned worker rebuilds it.
 func (co *Coordinator) SubmitJob(spec serve.JobSpec) (serve.JobStatus, error) {
+	if err := co.ready(); err != nil {
+		return serve.JobStatus{}, err
+	}
 	norm, budget, err := serve.Normalize(spec)
 	if err != nil {
 		return serve.JobStatus{}, err
@@ -196,6 +237,14 @@ func (co *Coordinator) SubmitJob(spec serve.JobSpec) (serve.JobStatus, error) {
 		done:         make(chan struct{}),
 	}
 	if err := co.queue.Offer(cj); err != nil {
+		return serve.JobStatus{}, err
+	}
+	// Journal the admission before acknowledging it; a failed append
+	// rolls the job back out so the client's error is honest.
+	spec2 := cj.spec
+	if err := co.logRecord(record{T: "admit", ID: cj.id, Spec: &spec2, Budget: cj.budget,
+		ModeledBytes: cj.modeledBytes, SubmittedNS: cj.submitted.UnixNano()}); err != nil {
+		co.queue.PopWhere(func(j *clusterJob) bool { return j == cj })
 		return serve.JobStatus{}, err
 	}
 	co.seq++
@@ -255,11 +304,14 @@ func (co *Coordinator) CancelJob(id string) (serve.JobStatus, error) {
 	case cj.state == serve.Queued:
 		cj.cancelRequested = true
 		cj.cancelCause = "canceled by client while queued"
-		cj.finalize(serve.Canceled, cj.cancelCause)
+		co.finishJob(cj, serve.Canceled, cj.cancelCause)
 	default: // running on a worker
 		if !cj.cancelRequested {
 			cj.cancelRequested = true
 			cj.cancelCause = "canceled by client while running"
+			// Journal the intent: a restart mid-cancel must not resurrect
+			// the job as runnable.
+			co.logRecord(record{T: "cancel", ID: cj.id, Cause: cj.cancelCause})
 		}
 	}
 	return cj.statusLocked(), nil
@@ -267,6 +319,7 @@ func (co *Coordinator) CancelJob(id string) (serve.JobStatus, error) {
 
 // ListJobs returns every job's status in submission order.
 func (co *Coordinator) ListJobs() []serve.JobStatus {
+	co.ready()
 	out := make([]serve.JobStatus, 0)
 	for _, cj := range co.snapshot() {
 		cj.mu.Lock()
@@ -280,13 +333,15 @@ func (co *Coordinator) ListJobs() []serve.JobStatus {
 func (co *Coordinator) ServiceStats() any {
 	co.mu.Lock()
 	st := FleetStats{
-		Node:          co.cfg.Node,
-		Role:          "coordinator",
-		Draining:      co.draining,
-		QueueCap:      co.cfg.QueueCap,
-		Migrations:    co.migrations.Load(),
-		Reaped:        co.reaped.Load(),
-		PredictorNote: co.predNote,
+		Node:            co.cfg.Node,
+		Role:            "coordinator",
+		Draining:        co.draining,
+		Recovering:      co.recovering.Load(),
+		QueueCap:        co.cfg.QueueCap,
+		Migrations:      co.migrations.Load(),
+		Reaped:          co.reaped.Load(),
+		CheckpointsGCed: co.ckptGCed.Load(),
+		PredictorNote:   co.predNote,
 	}
 	if co.fleet.Predictor != nil {
 		st.PredictorThresholdKB = co.fleet.Predictor.ThresholdKB
@@ -320,6 +375,9 @@ func (co *Coordinator) ServiceStats() any {
 	st.QueueDepth = co.queue.Len()
 	for _, cj := range co.snapshot() {
 		cj.mu.Lock()
+		if cj.checkpoint != nil {
+			st.CheckpointsRetained++
+		}
 		switch cj.state {
 		case serve.Queued:
 			st.Queued++
@@ -346,11 +404,23 @@ func (co *Coordinator) Capability() serve.Capability {
 		Node:       co.cfg.Node,
 		Role:       "coordinator",
 		Status:     "ready",
+		State:      "ready",
 		QueueDepth: co.queue.Len(),
 		Draining:   co.draining,
 	}
 	if co.draining {
 		c.Status = "draining"
+	}
+	if co.recovering.Load() {
+		// Journal replay in progress: /readyz reports 503 until the
+		// rebuilt jobs are requeued and leases can be granted again.
+		c.Status, c.State = "recovering", "recovering"
+	} else if co.recoverErr != nil {
+		c.Status, c.State = "recovery-failed", "recovering"
+	}
+	if co.jinfo != nil {
+		j := *co.jinfo
+		c.Journal = &j
 	}
 	for _, ws := range co.workers {
 		if ws.lost {
@@ -383,6 +453,9 @@ func (co *Coordinator) Capability() serve.Capability {
 func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	if req.Worker == "" {
 		return LeaseResponse{}, fmt.Errorf("%w: lease without worker name", serve.ErrBadSpec)
+	}
+	if err := co.ready(); err != nil {
+		return LeaseResponse{}, err
 	}
 	co.mu.Lock()
 	if co.draining {
@@ -460,7 +533,19 @@ func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 		lease.CheckpointFP = cj.checkpoint.Fingerprint()
 		cj.resumedFrom = cj.checkpoint.Iteration
 	}
+	rec := record{T: "lease", ID: cj.id, Worker: req.Worker, Attempt: cj.leases,
+		GrantedNS: cj.granted.UnixNano(), ResumeAt: cj.resumedFrom}
 	cj.mu.Unlock()
+
+	// Journal the grant before the worker learns of it: a coordinator
+	// killed after this append replays the lease (and requeues the job);
+	// killed before it, the worker never saw the lease either way.
+	if err := co.logRecord(rec); err != nil {
+		co.mu.Lock()
+		co.requeueJob(cj, "journal append failed at lease grant")
+		co.mu.Unlock()
+		return LeaseResponse{}, err
+	}
 
 	co.mu.Lock()
 	if w, ok := co.workers[req.Worker]; ok {
@@ -475,6 +560,9 @@ func (co *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 func (co *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 	if req.Worker == "" {
 		return HeartbeatResponse{}, fmt.Errorf("%w: heartbeat without worker name", serve.ErrBadSpec)
+	}
+	if err := co.ready(); err != nil {
+		return HeartbeatResponse{}, err
 	}
 	co.mu.Lock()
 	ws := co.touchWorker(req.Worker, req.Capability)
@@ -502,6 +590,13 @@ func (co *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error
 		reported[jp.JobID] = true
 		cj, ok := assigned[jp.JobID]
 		if !ok {
+			// The worker is running a job the coordinator has not assigned
+			// to it: a stale attempt surviving a coordinator restart (the
+			// replayed job was requeued) or a partition heal (the job
+			// migrated while this worker was unreachable). Its uploads
+			// would be rejected anyway — tell it to cancel and free the
+			// slot rather than burn it on a doomed attempt.
+			resp.Cancel = append(resp.Cancel, jp.JobID)
 			continue
 		}
 		cj.mu.Lock()
@@ -552,8 +647,13 @@ func (co *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error
 // UploadCheckpoint records a job's latest all-healthy checkpoint from its
 // assigned worker — the state the job migrates from if that worker is
 // lost. Uploads from a worker the job is no longer assigned to (a reaped
-// worker's late write racing the migration) are rejected.
-func (co *Coordinator) UploadCheckpoint(jobID, worker string, data []byte) error {
+// worker's late write racing the migration) or from a superseded lease
+// attempt are rejected; deliveries duplicated or reordered by the
+// network deduplicate on the checkpoint's iteration (its natural
+// sequence number): anything not strictly newer than the retained
+// snapshot is acknowledged as a no-op. Only the newest snapshot is
+// retained — the one it supersedes is GCed from memory and blob store.
+func (co *Coordinator) UploadCheckpoint(jobID, worker string, attempt int, data []byte) error {
 	cj, err := co.job(jobID)
 	if err != nil {
 		return err
@@ -567,16 +667,35 @@ func (co *Coordinator) UploadCheckpoint(jobID, worker string, data []byte) error
 	if cj.worker != worker || cj.state.Terminal() {
 		return fmt.Errorf("%w: job %s not assigned to worker %s", serve.ErrFinished, jobID, worker)
 	}
-	if cj.checkpoint != nil && ck.Iteration < cj.checkpoint.Iteration {
-		return nil // stale replay; keep the newer snapshot
+	if attempt != 0 && attempt != cj.leases {
+		return fmt.Errorf("%w: job %s checkpoint from superseded attempt %d (current %d)",
+			serve.ErrFinished, jobID, attempt, cj.leases)
 	}
+	if cj.checkpoint != nil && ck.Iteration <= cj.checkpoint.Iteration {
+		return nil // duplicate or stale delivery; keep the newer snapshot
+	}
+	addr, err := co.putBlob(data)
+	if err != nil {
+		return err
+	}
+	if err := co.logRecord(record{T: "ckpt", ID: cj.id, Worker: worker, Attempt: cj.leases,
+		Iteration: ck.Iteration, FP: ck.Fingerprint(), Addr: addr}); err != nil {
+		return err
+	}
+	co.dropCheckpointLocked(cj) // GC the superseded snapshot
 	cj.checkpoint = ck
+	cj.ckptAddr = addr
 	return nil
 }
 
 // UploadResult records a job's terminal report from its assigned worker
 // and finalizes the job. Same staleness rule as checkpoints: only the
-// currently-assigned worker may finish a job.
+// currently-assigned worker, on the current lease attempt, may finish a
+// job. The attempt number is the upload's sequence key: a duplicated or
+// retried delivery of an already-accepted result (same worker, same
+// attempt) is acknowledged idempotently, while an upload from a
+// superseded attempt — a stale local run finishing after the job
+// migrated or the coordinator restarted — is rejected.
 func (co *Coordinator) UploadResult(up ResultUpload) error {
 	cj, err := co.job(up.JobID)
 	if err != nil {
@@ -593,9 +712,24 @@ func (co *Coordinator) UploadResult(up ResultUpload) error {
 		}
 	}
 	cj.mu.Lock()
-	if cj.worker != up.Worker || cj.state.Terminal() {
+	if cj.state.Terminal() {
+		// Duplicate delivery of the accepted upload (response lost, worker
+		// retried) is success; anything else racing a finished job is stale.
+		dup := cj.worker == up.Worker && (up.Attempt == 0 || up.Attempt == cj.leases)
+		cj.mu.Unlock()
+		if dup {
+			return nil
+		}
+		return fmt.Errorf("%w: job %s already finished", serve.ErrFinished, up.JobID)
+	}
+	if cj.worker != up.Worker {
 		cj.mu.Unlock()
 		return fmt.Errorf("%w: job %s not assigned to worker %s", serve.ErrFinished, up.JobID, up.Worker)
+	}
+	if up.Attempt != 0 && up.Attempt != cj.leases {
+		cj.mu.Unlock()
+		return fmt.Errorf("%w: job %s result from superseded attempt %d (current %d)",
+			serve.ErrFinished, up.JobID, up.Attempt, cj.leases)
 	}
 	st := up.Status
 	cj.finalStatus = &st
@@ -604,6 +738,27 @@ func (co *Coordinator) UploadResult(up ResultUpload) error {
 	cj.draws = draws
 	cj.progress = st.Progress
 	cj.finalize(st.State, st.Error)
+	co.dropCheckpointLocked(cj) // terminal: nothing left to resume from
+	if co.store != nil {
+		// Draws blob first, then the result record referencing it; the
+		// append is the acknowledgment point.
+		var addr string
+		if len(draws) > 0 {
+			var berr error
+			if addr, berr = co.putBlob(draws); berr != nil {
+				cj.mu.Unlock()
+				return berr
+			}
+		}
+		cj.drawsAddr = addr
+		if lerr := co.logRecord(record{T: "result", ID: cj.id, Worker: up.Worker,
+			Attempt: cj.leases, Requeues: cj.requeues, Status: cj.finalStatus,
+			Payload: cj.result, DrawsAddr: addr,
+			FinishedNS: cj.finished.UnixNano()}); lerr != nil {
+			cj.mu.Unlock()
+			return lerr
+		}
+	}
 	cj.mu.Unlock()
 
 	co.mu.Lock()
@@ -630,6 +785,7 @@ func (co *Coordinator) Draws(jobID string) ([]byte, error) {
 
 // Workers returns the fleet's capability documents, sorted by node name.
 func (co *Coordinator) Workers() []serve.Capability {
+	co.ready()
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	out := make([]serve.Capability, 0, len(co.workers))
@@ -647,6 +803,7 @@ func (co *Coordinator) Workers() []serve.Capability {
 // Shutdown waits (bounded by ctx) for every job to reach a terminal
 // state before stopping the reaper.
 func (co *Coordinator) Shutdown(ctx context.Context) error {
+	co.ready()
 	co.mu.Lock()
 	if !co.draining {
 		co.draining = true
@@ -659,11 +816,12 @@ func (co *Coordinator) Shutdown(ctx context.Context) error {
 		switch {
 		case cj.state.Terminal():
 		case cj.state == serve.Queued:
-			cj.finalize(serve.Canceled, "canceled: coordinator draining")
+			co.finishJob(cj, serve.Canceled, "canceled: coordinator draining")
 		default:
 			if !cj.cancelRequested {
 				cj.cancelRequested = true
 				cj.cancelCause = "canceled by coordinator shutdown"
+				co.logRecord(record{T: "cancel", ID: cj.id, Cause: cj.cancelCause})
 			}
 		}
 		cj.mu.Unlock()
@@ -679,8 +837,11 @@ wait:
 			break wait
 		}
 	}
-	close(co.reapStop)
+	co.stopOnce.Do(func() { close(co.reapStop) })
 	<-co.reapDone
+	if co.store != nil {
+		co.store.close()
+	}
 	return err
 }
 
@@ -688,6 +849,12 @@ wait:
 // jobs.
 func (co *Coordinator) reaper() {
 	defer close(co.reapDone)
+	// A durable coordinator has no workers to reap until replay finishes.
+	select {
+	case <-co.reapStop:
+		return
+	case <-co.recovered:
+	}
 	t := time.NewTicker(co.cfg.ReapInterval)
 	defer t.Stop()
 	for {
@@ -724,13 +891,13 @@ func (co *Coordinator) requeueJob(cj *clusterJob, reason string) {
 		return
 	}
 	if cj.cancelRequested {
-		cj.finalize(serve.Canceled, cj.cancelCause)
+		co.finishJob(cj, serve.Canceled, cj.cancelCause)
 		return
 	}
 	cj.requeues++
 	co.migrations.Add(1)
 	if cj.requeues > co.cfg.MaxMigrations {
-		cj.finalize(serve.Failed, fmt.Sprintf(
+		co.finishJob(cj, serve.Failed, fmt.Sprintf(
 			"migration budget exhausted after %d requeues (%s)", cj.requeues, reason))
 		return
 	}
@@ -743,8 +910,11 @@ func (co *Coordinator) requeueJob(cj *clusterJob, reason string) {
 	cj.progress = resumeAt
 	cj.errMsg = fmt.Sprintf("%s; requeued to resume from iteration %d", reason, resumeAt)
 	if err := co.queue.Requeue(cj); err != nil {
-		cj.finalize(serve.Canceled, "canceled: coordinator draining with migration pending")
+		co.finishJob(cj, serve.Canceled, "canceled: coordinator draining with migration pending")
+		return
 	}
+	co.logRecord(record{T: "requeue", ID: cj.id, Reason: cj.errMsg, ResumeAt: resumeAt,
+		Leases: cj.leases, Requeues: cj.requeues})
 }
 
 // touchWorker upserts a worker's registration. Caller holds co.mu. A
@@ -762,7 +932,11 @@ func (co *Coordinator) touchWorker(name string, cap serve.Capability) *workerSta
 	return ws
 }
 
+// job resolves an ID, blocking until recovery has rebuilt the job table.
 func (co *Coordinator) job(id string) (*clusterJob, error) {
+	if err := co.ready(); err != nil {
+		return nil, err
+	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if cj, ok := co.jobs[id]; ok {

@@ -1,0 +1,414 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bayessuite/internal/cluster"
+	"bayessuite/internal/hw"
+	"bayessuite/internal/serve"
+)
+
+// listenOn binds addr, retrying briefly: re-binding the port a just-
+// closed coordinator held can transiently fail.
+func listenOn(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-binding %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// capabilityOf fetches the coordinator's capability document over HTTP.
+func capabilityOf(t *testing.T, base string) serve.Capability {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer resp.Body.Close()
+	var c serve.Capability
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatalf("decoding capability: %v", err)
+	}
+	return c
+}
+
+// TestClusterFaultCoordinatorCrashRestart is the tentpole acceptance
+// scenario, in-process and race-detectable: a durable coordinator is
+// killed mid-run (no drain, no goodbye — Kill models SIGKILL at the
+// application layer), a new coordinator on the same state directory and
+// address replays the journal, requeues the unfinished job from its
+// newest fingerprint-verified checkpoint, and the worker — which rode
+// out the outage on its retry wire — finishes it with draws
+// bit-identical to an uninterrupted run, under the original job ID.
+func TestClusterFaultCoordinatorCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipping in -short")
+	}
+	const checkpointEvery = 20
+	spec := serve.JobSpec{
+		Workload: "12cities", Scale: 0.25, Seed: 41, Iterations: 200, NoElide: true,
+	}
+	want := referenceDraws(t, spec, checkpointEvery)
+	stateDir := t.TempDir()
+
+	ln := listenOn(t, "127.0.0.1:0")
+	addr := ln.Addr().String()
+	base := "http://" + addr
+
+	co1 := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		StateDir:         stateDir,
+		HeartbeatTimeout: time.Second,
+		ReapInterval:     50 * time.Millisecond,
+	})
+	hs1 := &http.Server{Handler: co1.Handler()}
+	go hs1.Serve(ln)
+
+	// The worker outlives the coordinator crash; its HeartbeatTimeout
+	// keeps every RPC against the dead coordinator bounded.
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Name:              "survivor",
+		Coordinator:       base,
+		Platform:          hw.Skylake,
+		LeaseInterval:     10 * time.Millisecond,
+		HeartbeatInterval: 40 * time.Millisecond,
+		HeartbeatTimeout:  time.Second,
+		Engine:            serve.Config{CheckpointEvery: checkpointEvery},
+	})
+	if err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	defer stopWorker(t, w)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	client := serve.NewClient(base)
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Let the run get past two checkpoint boundaries so the kill lands
+	// mid-run with real resume state journaled.
+	for {
+		cur, err := client.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if cur.Progress >= 2*checkpointEvery || cur.State.Terminal() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for checkpoint progress before the kill")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	hs1.Close() // connections die mid-flight, like a process exit
+	co1.Kill()
+
+	ln2 := listenOn(t, addr)
+	co2 := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		StateDir:         stateDir,
+		HeartbeatTimeout: time.Second,
+		ReapInterval:     50 * time.Millisecond,
+	})
+	hs2 := &http.Server{Handler: co2.Handler()}
+	go hs2.Serve(ln2)
+	t.Cleanup(func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		_ = co2.Shutdown(sctx)
+		hs2.Close()
+	})
+
+	// The original job ID must resolve on the restarted coordinator and
+	// run to completion.
+	final, err := client.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait after restart: %v", err)
+	}
+	if final.State != serve.Done {
+		t.Fatalf("job ended %s (%s) after restart, want done", final.State, final.Error)
+	}
+	if final.ResumedFrom <= 0 || final.ResumedFrom%checkpointEvery != 0 {
+		t.Fatalf("final lease resumed from iteration %d, want a positive checkpoint boundary", final.ResumedFrom)
+	}
+	got, err := co2.Draws(st.ID)
+	if err != nil {
+		t.Fatalf("draws: %v", err)
+	}
+	if !cluster.DrawsEqual(want, got) {
+		t.Fatalf("post-crash draws differ from uninterrupted reference (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The restarted coordinator must report what it replayed.
+	capa := capabilityOf(t, base)
+	if capa.State != "ready" {
+		t.Fatalf("restarted coordinator state %q, want ready", capa.State)
+	}
+	if capa.Journal == nil || capa.Journal.RecordsReplayed == 0 {
+		t.Fatalf("restarted coordinator journal status %+v, want records replayed > 0", capa.Journal)
+	}
+	if capa.Journal.Path == "" {
+		t.Fatal("journal status has no path")
+	}
+}
+
+// TestClusterCoordinatorRecoveringState holds recovery open with the
+// test gate and verifies the advertised state machine: /readyz is 503
+// "recovering" while the journal replays, job admission blocks rather
+// than races, and the gate's release flips the coordinator to ready.
+func TestClusterCoordinatorRecoveringState(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := cluster.WithRecoverGate(cluster.CoordinatorConfig{
+		StateDir:         t.TempDir(),
+		HeartbeatTimeout: time.Second,
+		ReapInterval:     50 * time.Millisecond,
+	}, gate)
+	co, base := startTestCoordinator(t, cfg)
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while recovering: %d, want 503", resp.StatusCode)
+	}
+	capa := capabilityOf(t, base)
+	if capa.State != "recovering" || capa.Status != "recovering" {
+		t.Fatalf("capability state %q status %q while recovering, want recovering", capa.State, capa.Status)
+	}
+
+	// Admission must wait for replay, not interleave with it.
+	submitted := make(chan error, 1)
+	go func() {
+		_, err := co.SubmitJob(serve.JobSpec{Workload: "12cities", Scale: 0.25, Seed: 7, Iterations: 100})
+		submitted <- err
+	}()
+	select {
+	case err := <-submitted:
+		t.Fatalf("SubmitJob returned (%v) while recovery was gated", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	if err := <-submitted; err != nil {
+		t.Fatalf("SubmitJob after recovery: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("GET /readyz: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never became ready after the gate released")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if capa := capabilityOf(t, base); capa.State != "ready" {
+		t.Fatalf("capability state %q after recovery, want ready", capa.State)
+	}
+}
+
+// TestClusterCoordinatorReplayDeterminism replays byte-for-byte copies
+// of one state directory in two coordinators: recovery must be a pure
+// function of the bytes on disk, so both must reconstruct identical job
+// tables.
+func TestClusterCoordinatorReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipping in -short")
+	}
+	seedDir := t.TempDir()
+	co, base := startTestCoordinator(t, cluster.CoordinatorConfig{
+		StateDir:         seedDir,
+		HeartbeatTimeout: time.Second,
+		ReapInterval:     50 * time.Millisecond,
+	})
+	w := startTestWorker(t, base, "w1", hw.Skylake, serve.Config{CheckpointEvery: 20})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	client := serve.NewClient(base)
+
+	// One finished job, one still queued (no second slot), so the replayed
+	// table has both terminal and live entries.
+	done, err := client.Submit(ctx, serve.JobSpec{
+		Workload: "12cities", Scale: 0.25, Seed: 43, Iterations: 100, NoElide: true,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := client.Wait(ctx, done.ID, 20*time.Millisecond); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	stopWorker(t, w)
+	queued, err := client.Submit(ctx, serve.JobSpec{
+		Workload: "disease", Scale: 0.25, Seed: 44, Iterations: 300, NoElide: true,
+	})
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	co.Kill()
+
+	load := func(dir string) map[string]serve.JobStatus {
+		re := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			StateDir:         dir,
+			HeartbeatTimeout: time.Second,
+			ReapInterval:     time.Hour, // keep the reaper out of the picture
+		})
+		defer re.Kill()
+		out := make(map[string]serve.JobStatus)
+		for _, st := range re.ListJobs() { // gates on recovery completing
+			out[st.ID] = st
+		}
+		return out
+	}
+	copyDir := func(dst string) {
+		if err := filepath.WalkDir(seedDir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(seedDir, path)
+			if d.IsDir() {
+				return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+		}); err != nil {
+			t.Fatalf("copying state dir: %v", err)
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	copyDir(dirA)
+	copyDir(dirB)
+
+	a, b := load(dirA), load(dirB)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("replayed %d and %d jobs, want 2 each", len(a), len(b))
+	}
+	for id, sa := range a {
+		sb, ok := b[id]
+		if !ok {
+			t.Fatalf("job %s replayed in A but not B", id)
+		}
+		if sa.State != sb.State || sa.Progress != sb.Progress || sa.Attempts != sb.Attempts {
+			t.Errorf("job %s replays differ: A{%s %d iters %d attempts} B{%s %d iters %d attempts}",
+				id, sa.State, sa.Progress, sa.Attempts, sb.State, sb.Progress, sb.Attempts)
+		}
+	}
+	if a[done.ID].State != serve.Done {
+		t.Errorf("finished job replayed as %s, want done", a[done.ID].State)
+	}
+	if a[queued.ID].State != serve.Queued {
+		t.Errorf("live job replayed as %s, want queued (awaiting re-lease)", a[queued.ID].State)
+	}
+}
+
+// TestClusterCheckpointRetention verifies the bounded-retention
+// contract on a durable coordinator: each superseding checkpoint GCs
+// its predecessor's blob, a finished job's checkpoint is dropped, and
+// the counters ride the fleet stats document.
+func TestClusterCheckpointRetention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipping in -short")
+	}
+	co, base := startTestCoordinator(t, cluster.CoordinatorConfig{
+		StateDir:         t.TempDir(),
+		HeartbeatTimeout: time.Second,
+		ReapInterval:     50 * time.Millisecond,
+	})
+	w := startTestWorker(t, base, "w1", hw.Skylake, serve.Config{CheckpointEvery: 20})
+	defer stopWorker(t, w)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	client := serve.NewClient(base)
+	st, err := client.Submit(ctx, serve.JobSpec{
+		Workload: "12cities", Scale: 0.25, Seed: 47, Iterations: 200, NoElide: true,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Mid-run: exactly the newest snapshot is retained.
+	sawRetained := false
+	for {
+		fs := co.ServiceStats().(cluster.FleetStats)
+		if fs.CheckpointsRetained > 1 {
+			t.Fatalf("%d checkpoints retained mid-run, want at most the newest", fs.CheckpointsRetained)
+		}
+		if fs.CheckpointsRetained == 1 {
+			sawRetained = true
+		}
+		cur, err := client.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if cur.State.Terminal() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("timed out waiting for the job")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if !sawRetained {
+		t.Fatal("never observed a retained checkpoint mid-run")
+	}
+
+	fs := co.ServiceStats().(cluster.FleetStats)
+	if fs.CheckpointsRetained != 0 {
+		t.Fatalf("%d checkpoints retained after the job finished, want 0", fs.CheckpointsRetained)
+	}
+	// 200 iterations at 20/checkpoint upload ~10 snapshots; all but the
+	// final drop was a supersede.
+	if fs.CheckpointsGCed < 2 {
+		t.Fatalf("checkpoints_gced = %d, want >= 2 (supersede GC plus terminal drop)", fs.CheckpointsGCed)
+	}
+
+	// The counters are part of the wire document.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["checkpoints_retained"]; !ok {
+		t.Error("fleet stats JSON lacks checkpoints_retained")
+	}
+	if v, ok := raw["checkpoints_gced"]; !ok || v.(float64) < 2 {
+		t.Errorf("fleet stats JSON checkpoints_gced = %v, want >= 2", v)
+	}
+}

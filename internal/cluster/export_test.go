@@ -1,0 +1,9 @@
+package cluster
+
+// WithRecoverGate returns cfg with recovery stalled until gate closes —
+// the hook crash-recovery tests use to observe the "recovering" /readyz
+// state deterministically instead of racing a microsecond replay.
+func WithRecoverGate(cfg CoordinatorConfig, gate <-chan struct{}) CoordinatorConfig {
+	cfg.recoverGate = gate
+	return cfg
+}

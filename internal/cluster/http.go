@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 
 	"bayessuite/internal/serve"
 )
@@ -15,7 +16,7 @@ import (
 //
 //	POST /cluster/v1/lease                  poll for work     → 200 LeaseResponse
 //	POST /cluster/v1/heartbeat              liveness report   → 200 HeartbeatResponse
-//	POST /cluster/v1/jobs/{id}/checkpoint   checkpoint upload → 204 (body: raw BSCK bytes, ?worker=)
+//	POST /cluster/v1/jobs/{id}/checkpoint   checkpoint upload → 204 (body: raw BSCK bytes, ?worker=&attempt=)
 //	POST /cluster/v1/jobs/{id}/result       terminal upload   → 204 ResultUpload
 //	GET  /cluster/v1/jobs/{id}/draws        raw draw block    → 200 octet-stream
 //	GET  /cluster/v1/workers                fleet capabilities → 200 []Capability
@@ -51,7 +52,8 @@ func (co *Coordinator) Handler() http.Handler {
 			writeClusterErr(w, errors.Join(serve.ErrBadSpec, err))
 			return
 		}
-		if err := co.UploadCheckpoint(r.PathValue("id"), r.URL.Query().Get("worker"), data); err != nil {
+		attempt, _ := strconv.Atoi(r.URL.Query().Get("attempt"))
+		if err := co.UploadCheckpoint(r.PathValue("id"), r.URL.Query().Get("worker"), attempt, data); err != nil {
 			writeClusterErr(w, err)
 			return
 		}

@@ -5,16 +5,20 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bayessuite/internal/hw"
 	"bayessuite/internal/mcmc"
+	"bayessuite/internal/rng"
 	"bayessuite/internal/serve"
 )
 
@@ -36,8 +40,16 @@ type WorkerConfig struct {
 	// HeartbeatInterval is the liveness cadence (default 500ms). It must
 	// be well under the coordinator's HeartbeatTimeout.
 	HeartbeatInterval time.Duration
-	// HTTP is the client used for coordinator calls (default
-	// http.DefaultClient).
+	// HeartbeatTimeout mirrors the coordinator's liveness bound (default
+	// 2s) and is the base every RPC deadline and retry budget derives
+	// from: leases get HeartbeatTimeout, heartbeats half of it,
+	// uploads twice it per attempt. No coordinator call is ever issued
+	// without a deadline.
+	HeartbeatTimeout time.Duration
+	// HTTP is the client used for coordinator calls. Default: a client
+	// with an explicit Timeout backstopping the per-call deadlines (the
+	// bare http.DefaultClient, which has none, is never used). Tests
+	// substitute a chaos-transport client here.
 	HTTP *http.Client
 	// Engine, when non-zero, overrides pieces of the embedded
 	// serve.Server config (checkpoint cadence, retries, fault hook for
@@ -59,7 +71,18 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = 500 * time.Millisecond
 	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
 	return c
+}
+
+// leaseRef ties a local engine job to the cluster lease that granted it.
+// The attempt number rides on every upload so the coordinator can tell
+// this lease's writes from a superseded attempt's.
+type leaseRef struct {
+	cluster string
+	attempt int
 }
 
 // Worker is one fleet member: an embedded single-platform serve.Server
@@ -67,6 +90,7 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 type Worker struct {
 	cfg    WorkerConfig
 	engine *serve.Server
+	http   *http.Client
 
 	stopc chan struct{}
 	donec chan struct{}
@@ -75,9 +99,12 @@ type Worker struct {
 	draining atomic.Bool
 
 	mu      sync.Mutex
-	byLoc   map[string]string // engine job ID → coordinator job ID
-	inflit  int               // local jobs not yet uploaded
+	byLoc   map[string]leaseRef // engine job ID → lease
+	inflit  int                 // local jobs not yet uploaded
 	stopped bool
+
+	rmu    sync.Mutex
+	jitter *rng.RNG // backoff jitter, seeded from the worker name
 }
 
 // NewWorker builds the worker and starts its lease and heartbeat loops.
@@ -92,11 +119,20 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if _, err := url.Parse(cfg.Coordinator); err != nil {
 		return nil, fmt.Errorf("cluster: bad coordinator URL: %w", err)
 	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name))
 	w := &Worker{
-		cfg:   cfg,
-		stopc: make(chan struct{}),
-		donec: make(chan struct{}),
-		byLoc: make(map[string]string),
+		cfg:    cfg,
+		stopc:  make(chan struct{}),
+		donec:  make(chan struct{}),
+		byLoc:  make(map[string]leaseRef),
+		jitter: rng.New(h.Sum64()),
+	}
+	w.http = cfg.HTTP
+	if w.http == nil {
+		// Explicit client-level timeout as a backstop above the per-call
+		// context deadlines (largest deadline is 2×HeartbeatTimeout).
+		w.http = &http.Client{Timeout: 4 * cfg.HeartbeatTimeout}
 	}
 	ecfg := cfg.Engine
 	ecfg.Node = cfg.Name
@@ -177,7 +213,8 @@ func (w *Worker) closeStop() {
 	}
 }
 
-// leaseLoop polls the coordinator for work whenever a slot is free.
+// leaseLoop polls the coordinator for work whenever a slot is free. A
+// failed poll is not retried in place — the next tick is the retry.
 func (w *Worker) leaseLoop() {
 	t := time.NewTicker(w.cfg.LeaseInterval)
 	defer t.Stop()
@@ -195,7 +232,8 @@ func (w *Worker) leaseLoop() {
 			continue
 		}
 		var resp LeaseResponse
-		err := w.post("/cluster/v1/lease", LeaseRequest{Worker: w.cfg.Name, Capability: cap}, &resp)
+		err := w.post("/cluster/v1/lease", LeaseRequest{Worker: w.cfg.Name, Capability: cap},
+			&resp, w.cfg.HeartbeatTimeout)
 		if err != nil || resp.Lease == nil {
 			continue
 		}
@@ -223,17 +261,21 @@ func (w *Worker) runLease(l *Lease) {
 	if err != nil {
 		return // spec/checkpoint mismatch or local drain; the lease lapses
 	}
+	ref := leaseRef{cluster: l.JobID, attempt: l.Attempt}
 	w.mu.Lock()
-	w.byLoc[job.ID()] = l.JobID
+	w.byLoc[job.ID()] = ref
 	w.inflit++
 	w.mu.Unlock()
-	go w.awaitAndUpload(job, l.JobID)
+	go w.awaitAndUpload(job, ref)
 }
 
 // awaitAndUpload waits for a local job to finish and uploads its terminal
-// status, payload, and raw draws. A killed worker uploads nothing — from
+// status, payload, and raw draws. The upload retries with backoff — it is
+// the one delivery the job's client is waiting on — and is idempotent
+// coordinator-side (keyed on the lease attempt), so a response lost by
+// the network is safely re-sent. A killed worker uploads nothing: from
 // the fleet's point of view it died mid-run.
-func (w *Worker) awaitAndUpload(job *serve.Job, clusterID string) {
+func (w *Worker) awaitAndUpload(job *serve.Job, ref leaseRef) {
 	defer func() {
 		w.mu.Lock()
 		delete(w.byLoc, job.ID())
@@ -246,42 +288,60 @@ func (w *Worker) awaitAndUpload(job *serve.Job, clusterID string) {
 	}
 	st := job.Status()
 	payload, _ := job.Result()
-	up := ResultUpload{Worker: w.cfg.Name, JobID: clusterID, Status: st, Payload: payload}
+	up := ResultUpload{Worker: w.cfg.Name, JobID: ref.cluster, Attempt: ref.attempt,
+		Status: st, Payload: payload}
 	if raw := job.Raw(); raw != nil {
 		up.DrawsB64 = base64.StdEncoding.EncodeToString(EncodeDraws(raw))
 	}
-	_ = w.post("/cluster/v1/jobs/"+url.PathEscape(clusterID)+"/result", up, nil)
+	_ = w.withRetry(2*time.Minute, func() error {
+		return w.post("/cluster/v1/jobs/"+url.PathEscape(ref.cluster)+"/result", up, nil,
+			2*w.cfg.HeartbeatTimeout)
+	})
 }
 
 // uploadCheckpoint is the engine's OnCheckpoint observer: stream every
 // snapshot to the coordinator, synchronously, so migration state is never
-// behind local state by more than zero checkpoints.
+// behind local state by more than zero checkpoints. The retry budget is
+// short — this call stalls the sampler, and a dropped snapshot is safe
+// (the coordinator keeps the previous one; the next boundary re-covers).
 func (w *Worker) uploadCheckpoint(job *serve.Job, ck *mcmc.Checkpoint) {
 	if w.killed.Load() {
 		return
 	}
 	w.mu.Lock()
-	clusterID, ok := w.byLoc[job.ID()]
+	ref, ok := w.byLoc[job.ID()]
 	w.mu.Unlock()
 	if !ok {
 		return // locally-submitted job (not leased); nothing to stream
 	}
-	u := w.cfg.Coordinator + "/cluster/v1/jobs/" + url.PathEscape(clusterID) +
-		"/checkpoint?worker=" + url.QueryEscape(w.cfg.Name)
-	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(ck.Encode()))
-	if err != nil {
-		return
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := w.httpClient().Do(req)
-	if err != nil {
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	u := w.cfg.Coordinator + "/cluster/v1/jobs/" + url.PathEscape(ref.cluster) +
+		"/checkpoint?worker=" + url.QueryEscape(w.cfg.Name) +
+		"&attempt=" + strconv.Itoa(ref.attempt)
+	data := ck.Encode()
+	_ = w.withRetry(w.cfg.HeartbeatTimeout/4, func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), w.cfg.HeartbeatTimeout/2)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := w.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return &httpError{code: resp.StatusCode, msg: string(body)}
+		}
+		return nil
+	})
 }
 
-// heartbeatLoop reports liveness until the worker stops or dies.
+// heartbeatLoop reports liveness until the worker stops or dies. Like
+// leases, a failed beat is not retried in place; the cadence is the
+// retry.
 func (w *Worker) heartbeatLoop() {
 	defer close(w.donec)
 	t := time.NewTicker(w.cfg.HeartbeatInterval)
@@ -299,7 +359,10 @@ func (w *Worker) heartbeatLoop() {
 	}
 }
 
-// sendHeartbeat posts one heartbeat and applies any cancels it returns.
+// sendHeartbeat posts one heartbeat and applies any cancels it returns —
+// including cancels for jobs the coordinator no longer recognizes as
+// this worker's (a stale attempt surviving a coordinator restart or
+// partition heal), which free the slot for useful work.
 func (w *Worker) sendHeartbeat(leaving bool) error {
 	req := HeartbeatRequest{
 		Worker:     w.cfg.Name,
@@ -308,49 +371,103 @@ func (w *Worker) sendHeartbeat(leaving bool) error {
 		Leaving:    leaving,
 	}
 	w.mu.Lock()
-	locByCluster := make(map[string]string, len(w.byLoc))
-	for loc, cl := range w.byLoc {
-		locByCluster[cl] = loc
+	refs := make(map[string]leaseRef, len(w.byLoc))
+	for loc, ref := range w.byLoc {
+		refs[loc] = ref
 	}
 	w.mu.Unlock()
-	for cl, loc := range locByCluster {
+	for loc, ref := range refs {
 		st, err := w.engine.GetJob(loc)
 		if err != nil {
 			continue
 		}
-		req.Jobs = append(req.Jobs, JobProgress{JobID: cl, State: st.State, Progress: st.Progress})
+		req.Jobs = append(req.Jobs, JobProgress{JobID: ref.cluster, State: st.State, Progress: st.Progress})
 	}
 	var resp HeartbeatResponse
-	if err := w.post("/cluster/v1/heartbeat", req, &resp); err != nil {
+	if err := w.post("/cluster/v1/heartbeat", req, &resp, w.cfg.HeartbeatTimeout/2); err != nil {
 		return err
 	}
+	cancel := make(map[string]bool, len(resp.Cancel))
 	for _, cl := range resp.Cancel {
-		if loc, ok := locByCluster[cl]; ok {
+		cancel[cl] = true
+	}
+	for loc, ref := range refs {
+		if cancel[ref.cluster] {
 			_, _ = w.engine.CancelJob(loc)
 		}
 	}
 	return nil
 }
 
-func (w *Worker) httpClient() *http.Client {
-	if w.cfg.HTTP != nil {
-		return w.cfg.HTTP
-	}
-	return http.DefaultClient
+// httpError is a non-2xx coordinator response. 5xx retries; 4xx is a
+// verdict (stale attempt, finished job, bad payload), not weather.
+type httpError struct {
+	code int
+	msg  string
 }
 
-// post issues one JSON POST to the coordinator.
-func (w *Worker) post(path string, in, out any) error {
+func (e *httpError) Error() string {
+	return fmt.Sprintf("cluster: HTTP %d: %s", e.code, e.msg)
+}
+
+// retryable classifies an RPC failure: transport-level errors (connection
+// refused, deadline, injected chaos) and 5xx responses are weather worth
+// retrying; any 4xx is a coordinator verdict that retrying cannot change.
+func retryable(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code >= 500
+	}
+	return true
+}
+
+// withRetry runs op with capped exponential backoff until it succeeds,
+// fails permanently (4xx), the budget is exhausted, or the worker is
+// killed. Backoff starts at 25ms, doubles to a 1s cap, and carries
+// ±25% jitter from a stream seeded by the worker name — deterministic
+// per worker, decorrelated across the fleet.
+func (w *Worker) withRetry(budget time.Duration, op func() error) error {
+	deadline := time.Now().Add(budget)
+	delay := 25 * time.Millisecond
+	for {
+		err := op()
+		if err == nil || !retryable(err) || w.killed.Load() {
+			return err
+		}
+		d := w.jittered(delay)
+		if time.Now().Add(d).After(deadline) {
+			return err
+		}
+		time.Sleep(d)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+func (w *Worker) jittered(d time.Duration) time.Duration {
+	w.rmu.Lock()
+	f := 0.75 + 0.5*w.jitter.Float64()
+	w.rmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// post issues one JSON POST to the coordinator with an explicit per-call
+// deadline. The body is a bytes.Reader, so net/http can replay it
+// (GetBody) — required for the chaos transport's duplicate deliveries.
+func (w *Worker) post(path string, in, out any, timeout time.Duration) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.httpClient().Do(req)
+	resp, err := w.http.Do(req)
 	if err != nil {
 		return err
 	}
@@ -360,7 +477,7 @@ func (w *Worker) post(path string, in, out any) error {
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("cluster: %s: HTTP %d: %s", path, resp.StatusCode, data)
+		return &httpError{code: resp.StatusCode, msg: fmt.Sprintf("%s: %s", path, data)}
 	}
 	if out == nil {
 		return nil

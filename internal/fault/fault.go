@@ -41,6 +41,23 @@ const (
 	// run — heartbeats stop, the coordinator reaps the lease, and the job
 	// must migrate to another worker from its last uploaded checkpoint.
 	WorkerLoss
+	// NetDrop is a network fault (see NetChaos): an RPC is lost — either
+	// the request never reaches the coordinator, or it is processed and
+	// the response is lost on the way back (the case that demands
+	// idempotent uploads).
+	NetDrop
+	// NetDup delivers an RPC twice: the coordinator processes the same
+	// request a second time before the caller sees one response,
+	// exercising sequence-number deduplication.
+	NetDup
+	// NetDelay stalls an RPC in flight, reordering it against later
+	// calls and exercising per-call deadlines and stale-delivery checks.
+	NetDelay
+	// NetPartition fails every RPC while the partition is up: the worker
+	// is unreachable, heartbeats stop arriving, and the coordinator must
+	// reap and re-lease; on heal, the worker's stale in-flight work must
+	// be reconciled without corrupting the job.
+	NetPartition
 )
 
 // String returns the kind's test-matrix label.
@@ -56,6 +73,14 @@ func (k Kind) String() string {
 		return "cancel"
 	case WorkerLoss:
 		return "worker-loss"
+	case NetDrop:
+		return "net-drop"
+	case NetDup:
+		return "net-dup"
+	case NetDelay:
+		return "net-delay"
+	case NetPartition:
+		return "net-partition"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -80,7 +105,7 @@ type Injector struct {
 	killOnce sync.Once
 
 	injected atomic.Int64
-	fired    [7]atomic.Int64 // indexed by Kind
+	fired    [NetPartition + 1]atomic.Int64 // indexed by Kind
 }
 
 // New returns an Injector whose probabilistic decisions derive from seed.
@@ -136,6 +161,7 @@ func (in *Injector) Injected() int64 { return in.injected.Load() }
 // Fired returns how many times kind k fired.
 func (in *Injector) Fired(k Kind) int64 {
 	if k < Panic || k > WorkerLoss {
+		// Network kinds fire in NetChaos, not the sampler-side Injector.
 		return 0
 	}
 	return in.fired[k].Load()

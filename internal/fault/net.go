@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bayessuite/internal/rng"
+)
+
+// NetChaos is a deterministic chaos http.RoundTripper: it wraps a real
+// transport and injects the network fault kinds (NetDrop, NetDup,
+// NetDelay, NetPartition) between a cluster worker and its coordinator.
+// Probabilistic decisions come from one seeded RNG stream consumed in
+// RoundTrip arrival order — a given seed produces a reproducible fault
+// budget, though under concurrency which call draws which decision is
+// schedule-dependent. That is the point: the cluster wire's robustness
+// contract (final draws bit-identical to an unfaulted run) must hold
+// for every injection pattern, not one blessed schedule, so the matrix
+// tests assert the contract against whatever pattern the seed and the
+// scheduler produce.
+//
+// Fault semantics per RoundTrip:
+//
+//   - partition up: the call fails immediately with *NetError — the
+//     network is gone in both directions.
+//   - drop: a coin (same stream) picks the loss side. Request-side loss
+//     fails the call without the server ever seeing it; response-side
+//     loss forwards the request, lets the server process it fully, then
+//     discards the response and fails the call — the case that forces
+//     idempotent, sequence-numbered uploads.
+//   - dup: the request is sent twice back-to-back (first response
+//     discarded), so the server processes the same delivery two times
+//     while the caller sees one.
+//   - delay: the call sleeps Delay before forwarding, reordering it
+//     against calls issued later.
+//
+// At most one fault fires per call; precedence is partition, then drop,
+// then dup, then delay.
+type NetChaos struct {
+	// Base is the wrapped transport (default http.DefaultTransport).
+	Base http.RoundTripper
+
+	mu     sync.Mutex
+	stream *rng.RNG
+	drop   float64
+	dup    float64
+	delay  float64
+	stall  time.Duration
+
+	partitioned atomic.Bool
+	fired       [NetPartition + 1]atomic.Int64
+}
+
+// NetError is the typed transport error injected faults surface as, so
+// tests (and retry classifiers) can tell injected weather from real
+// connection failures.
+type NetError struct {
+	Kind Kind
+	Op   string
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("fault: injected %s on %s", e.Kind, e.Op)
+}
+
+// NewNetChaos returns a NetChaos whose probabilistic decisions derive
+// from seed.
+func NewNetChaos(seed uint64) *NetChaos {
+	return &NetChaos{stream: rng.New(seed)}
+}
+
+// WithDrop arms NetDrop at the given per-call rate.
+func (c *NetChaos) WithDrop(rate float64) *NetChaos {
+	c.mu.Lock()
+	c.drop = rate
+	c.mu.Unlock()
+	return c
+}
+
+// WithDup arms NetDup at the given per-call rate.
+func (c *NetChaos) WithDup(rate float64) *NetChaos {
+	c.mu.Lock()
+	c.dup = rate
+	c.mu.Unlock()
+	return c
+}
+
+// WithDelay arms NetDelay: each call stalls d with the given rate.
+func (c *NetChaos) WithDelay(rate float64, d time.Duration) *NetChaos {
+	c.mu.Lock()
+	c.delay = rate
+	c.stall = d
+	c.mu.Unlock()
+	return c
+}
+
+// Partition raises or heals a full partition. While up, every call
+// fails; the test orchestrates partition-then-heal scenarios by
+// flipping this around reap/requeue observations.
+func (c *NetChaos) Partition(up bool) {
+	c.partitioned.Store(up)
+}
+
+// Fired returns how many times kind k fired.
+func (c *NetChaos) Fired(k Kind) int64 {
+	if k < NetDrop || k > NetPartition {
+		return 0
+	}
+	return c.fired[k].Load()
+}
+
+func (c *NetChaos) base() http.RoundTripper {
+	if c.Base != nil {
+		return c.Base
+	}
+	return http.DefaultTransport
+}
+
+// decide draws this call's fault (and, for NetDrop, which side is
+// lost) from the seeded stream.
+func (c *NetChaos) decide() (k Kind, dropResponse bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.stream.Float64()
+	switch {
+	case u < c.drop:
+		return NetDrop, c.stream.Float64() < 0.5
+	case u < c.drop+c.dup:
+		return NetDup, false
+	case u < c.drop+c.dup+c.delay:
+		return NetDelay, false
+	}
+	return 0, false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (c *NetChaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	if c.partitioned.Load() {
+		c.fired[NetPartition].Add(1)
+		return nil, &NetError{Kind: NetPartition, Op: req.URL.Path}
+	}
+	k, dropResponse := c.decide()
+	switch k {
+	case NetDrop:
+		c.fired[NetDrop].Add(1)
+		if dropResponse {
+			// The server processes the request fully; the response is lost.
+			resp, err := c.base().RoundTrip(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return nil, &NetError{Kind: NetDrop, Op: req.URL.Path}
+	case NetDup:
+		// A duplicate needs a replayable body; a streaming one-shot body
+		// can only be delivered once, so the dup degrades to a plain send.
+		if req.Body == nil || req.GetBody != nil {
+			if first := cloneRequest(req); first != nil {
+				c.fired[NetDup].Add(1)
+				if resp, err := c.base().RoundTrip(first); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	case NetDelay:
+		c.fired[NetDelay].Add(1)
+		time.Sleep(c.stall)
+	}
+	return c.base().RoundTrip(req)
+}
+
+// cloneRequest builds the duplicate delivery: same method, URL,
+// headers, and a fresh body from GetBody. Returns nil if the body
+// cannot be replayed.
+func cloneRequest(req *http.Request) *http.Request {
+	dup := req.Clone(req.Context())
+	if req.Body != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil
+		}
+		dup.Body = body
+	}
+	return dup
+}

@@ -1,0 +1,130 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BlobStore is a content-addressed on-disk store for bulk payloads the
+// journal references by hash: streamed checkpoints and terminal BSDW
+// draw blocks. The address of a blob is the hex SHA-256 of its bytes,
+// so identical payloads (a duplicated upload, a re-run producing
+// bit-identical draws) share one file, and a read verifies integrity by
+// construction — a blob that hashes wrong is corruption, not data.
+//
+// Writes are crash-safe the same way journal rotation is: temp file in
+// the store directory, fsync, atomic rename into place, directory
+// fsync. A SIGKILL mid-Put leaves at worst an orphan temp file, never a
+// half-written addressable blob.
+type BlobStore struct {
+	dir string
+}
+
+// NewBlobStore opens (creating) the store rooted at dir.
+func NewBlobStore(dir string) (*BlobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &BlobStore{dir: dir}, nil
+}
+
+// Addr returns the content address data would be stored under.
+func Addr(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *BlobStore) path(addr string) string {
+	return filepath.Join(s.dir, addr[:2], addr)
+}
+
+// Put stores data and returns its content address. Storing bytes that
+// are already present is a durable no-op.
+func (s *BlobStore) Put(data []byte) (string, error) {
+	addr := Addr(data)
+	path := s.path(addr)
+	if _, err := os.Stat(path); err == nil {
+		return addr, nil
+	}
+	shard := filepath.Dir(path)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(shard, addr+".put-*")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (string, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return "", err
+	}
+	if err := syncDir(shard); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// Get reads the blob at addr and verifies its hash, so a corrupt or
+// truncated blob surfaces as an error rather than silently-wrong bytes.
+func (s *BlobStore) Get(addr string) ([]byte, error) {
+	if len(addr) < 3 {
+		return nil, fmt.Errorf("journal: bad blob address %q", addr)
+	}
+	data, err := os.ReadFile(s.path(addr))
+	if err != nil {
+		return nil, err
+	}
+	if Addr(data) != addr {
+		return nil, &CorruptError{Path: s.path(addr), Reason: "blob content does not match its address"}
+	}
+	return data, nil
+}
+
+// Delete removes the blob at addr. Deleting an absent blob is a no-op.
+func (s *BlobStore) Delete(addr string) error {
+	if len(addr) < 3 {
+		return fmt.Errorf("journal: bad blob address %q", addr)
+	}
+	err := os.Remove(s.path(addr))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Addrs lists every stored blob address (for GC sweeps).
+func (s *BlobStore) Addrs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		// Skip orphaned temp files from an interrupted Put.
+		if strings.Contains(name, ".put-") || strings.Contains(name, ".rotate-") {
+			return nil
+		}
+		out = append(out, name)
+		return nil
+	})
+	return out, err
+}

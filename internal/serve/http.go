@@ -118,7 +118,9 @@ func NewAPIHandler(api API) *http.ServeMux {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		c := api.Capability()
 		code := http.StatusOK
-		if c.Draining {
+		// Not ready while draining (shutting down) or recovering (a durable
+		// coordinator replaying its journal — jobs are not leased yet).
+		if c.Draining || c.State == "recovering" {
 			code = http.StatusServiceUnavailable
 		}
 		if wantsJSONCapability(r) {

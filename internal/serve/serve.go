@@ -238,8 +238,17 @@ type Capability struct {
 	// "worker", or "coordinator".
 	Node string `json:"node"`
 	Role string `json:"role"`
-	// Status mirrors the bare probe: "ready" or "draining".
+	// Status mirrors the bare probe: "ready", "recovering", or
+	// "draining".
 	Status string `json:"status,omitempty"`
+	// State distinguishes a cold start from a journal recovery:
+	// "recovering" while a durable coordinator is still replaying its
+	// state journal (jobs are not leased yet), "ready" otherwise. The
+	// bare probe's Status mirrors it.
+	State string `json:"state,omitempty"`
+	// Journal describes the durable state journal once recovery has
+	// completed (nil on nodes running without a state dir).
+	Journal *JournalStatus `json:"journal,omitempty"`
 	// Platform is the simulated platform this node models (Table II
 	// codename); LLCBytes/FrequencyGHz/Cores are its placement-relevant
 	// hardware facts.
@@ -257,6 +266,16 @@ type Capability struct {
 	// multi-chain sweeps for batchable workloads).
 	GradBatch bool `json:"grad_batch"`
 	Draining  bool `json:"draining,omitempty"`
+}
+
+// JournalStatus is the durable-coordinator journal section of the
+// /readyz capability document: where the journal lives, how many
+// records the last recovery replayed, and how long the replay took —
+// what lets an operator tell a cold start (0 records) from a recovery.
+type JournalStatus struct {
+	Path            string  `json:"path"`
+	RecordsReplayed int     `json:"records_replayed"`
+	ReplayMillis    float64 `json:"replay_ms"`
 }
 
 // Stats is the /v1/stats response.

@@ -552,6 +552,7 @@ func (s *Server) Capability() Capability {
 		Node:         s.cfg.Node,
 		Role:         s.cfg.Role,
 		Status:       "ready",
+		State:        "ready",
 		Platform:     plat.Codename,
 		LLCBytes:     plat.LLCBytes,
 		FrequencyGHz: plat.TurboGHz,
