@@ -84,8 +84,11 @@ bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
 # Regenerate BENCH_2.json (fused-kernel vs legacy-tape gradient cost for
-# every kernel-backed workload) and BENCH_5.json (cross-chain gradient
+# every kernel-backed workload), BENCH_5.json (cross-chain gradient
 # batching: fused multi-chain sweeps vs per-chain evaluation, gradient
-# layer and end-to-end lockstep, with the bytes-streamed traffic proxy).
+# layer and end-to-end lockstep, with the bytes-streamed traffic proxy),
+# and BENCH_10.json (speculative leapfrog prefetching: lockstep runs with
+# the slot-filling speculation layer off vs on — occupancy split, hit
+# rate, and the straggler-bound sweep conservation check).
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_2.json -o5 BENCH_5.json
+	$(GO) run ./cmd/benchjson -o BENCH_2.json -o5 BENCH_5.json -o10 BENCH_10.json

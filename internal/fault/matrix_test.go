@@ -401,13 +401,58 @@ func TestFaultMatrixBatched(t *testing.T) {
 			fk := fk
 			t.Run(kind.String()+"/"+fk.String(), func(t *testing.T) {
 				t.Parallel()
-				testBatchedQuarantine(t, kind, fk)
+				testBatchedQuarantine(t, kind, fk, false)
 			})
 		}
 	}
 }
 
-func testBatchedQuarantine(t *testing.T, kind mcmc.SamplerKind, fk Kind) {
+// TestFaultMatrixBatchedSpec is the speculation column of the matrix:
+// every injectable fault kind against the batched lockstep path with
+// speculative prefetching on. Quarantines, cancels, worker losses, and
+// slow iterations must behave exactly as without speculation, and draws
+// must stay bit-identical to the per-chain reference throughout.
+func TestFaultMatrixBatchedSpec(t *testing.T) {
+	for _, kind := range []mcmc.SamplerKind{mcmc.HMC, mcmc.NUTS} {
+		kind := kind
+		for _, fk := range []Kind{Panic, NonFinite, Slow, Cancel, WorkerLoss} {
+			fk := fk
+			t.Run(kind.String()+"/"+fk.String(), func(t *testing.T) {
+				t.Parallel()
+				switch fk {
+				case Panic, NonFinite:
+					testBatchedQuarantine(t, kind, fk, true)
+				case Slow:
+					testBatchedSpecSlow(t, kind)
+				case Cancel:
+					testBatchedSpecCancel(t, kind)
+				case WorkerLoss:
+					testBatchedSpecWorkerLoss(t, kind)
+				}
+			})
+		}
+	}
+}
+
+// batchedSpecTargets wires cfg's fused gradient path over a fresh
+// evaluator for m, optionally with speculative prefetching.
+func batchedSpecTargets(t *testing.T, cfg *mcmc.Config, m *batchGLM, speculate bool) mcmc.TargetFactory {
+	t.Helper()
+	be, ok := model.NewBatchEvaluator(m, chains)
+	if !ok {
+		t.Fatal("batchGLM is not batchable")
+	}
+	cfg.BatchGrad = be.LogDensityGradBatch
+	cfg.Speculate = speculate
+	next := 0
+	return func() mcmc.Target {
+		c := next
+		next++
+		return be.Chain(c)
+	}
+}
+
+func testBatchedQuarantine(t *testing.T, kind mcmc.SamplerKind, fk Kind, speculate bool) {
 	m := newBatchGLM(5)
 	run := func(batched bool, resume *mcmc.Checkpoint, sink func(*mcmc.Checkpoint)) *mcmc.Result {
 		cfg := baseConfig(kind)
@@ -418,17 +463,7 @@ func testBatchedQuarantine(t *testing.T, kind mcmc.SamplerKind, fk Kind) {
 		cfg.FaultHook = inj.Hook
 		var factory mcmc.TargetFactory
 		if batched {
-			be, ok := model.NewBatchEvaluator(m, chains)
-			if !ok {
-				t.Fatal("batchGLM is not batchable")
-			}
-			cfg.BatchGrad = be.LogDensityGradBatch
-			next := 0
-			factory = func() mcmc.Target {
-				c := next
-				next++
-				return be.Chain(c)
-			}
+			factory = batchedSpecTargets(t, &cfg, m, speculate)
 		} else {
 			factory = func() mcmc.Target { return model.NewEvaluator(m) }
 		}
@@ -460,4 +495,105 @@ func testBatchedQuarantine(t *testing.T, kind mcmc.SamplerKind, fk Kind) {
 	}
 	replay := run(true, cks[len(cks)-1], nil)
 	sameChainDraws(t, "batched resume replay", res, replay)
+}
+
+// specAccounting checks the speculative ledger invariant on a finished
+// run: every speculated row was either committed or discarded.
+func specAccounting(t *testing.T, res *mcmc.Result) {
+	t.Helper()
+	gb := res.GradBatch
+	if gb == nil {
+		t.Fatal("speculating lockstep run reported no GradBatch")
+	}
+	if gb.SpecCommitted+gb.SpecDiscarded != gb.SpecRows {
+		t.Fatalf("spec accounting: committed %d + discarded %d != rows %d",
+			gb.SpecCommitted, gb.SpecDiscarded, gb.SpecRows)
+	}
+}
+
+// testBatchedSpecSlow: slow injection on the speculating batched path
+// changes pace only — draws stay bit-identical to a clean per-chain run.
+func testBatchedSpecSlow(t *testing.T, kind mcmc.SamplerKind) {
+	m := newBatchGLM(5)
+	ref := mcmc.Run(baseConfig(kind), func() mcmc.Target { return model.NewEvaluator(m) })
+
+	inj := New(7).WithRandom(0.02, Slow, chains).WithSlow(0) // count-only stall
+	cfg := baseConfig(kind)
+	cfg.Progress = func(int) {} // lockstep engages the coalescer
+	cfg.FaultHook = inj.Hook
+	factory := batchedSpecTargets(t, &cfg, m, true)
+	res := mcmc.Run(cfg, factory)
+
+	if inj.Injected() == 0 {
+		t.Fatalf("random injection never fired")
+	}
+	if len(res.Faults()) != 0 {
+		t.Fatalf("slow iterations must not quarantine: %v", res.Faults())
+	}
+	sameChainDraws(t, "batched-spec slow", ref, res)
+	specAccounting(t, res)
+	if res.GradBatch.SpecRows == 0 {
+		t.Error("speculating run filled no slots (expected stragglers to leave empty rows)")
+	}
+}
+
+// testBatchedSpecCancel: a cooperative cancel mid-round on the
+// speculating batched path interrupts cleanly — completed draws retained,
+// nothing quarantined, ledger balanced.
+func testBatchedSpecCancel(t *testing.T, kind mcmc.SamplerKind) {
+	m := newBatchGLM(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := New(7).Schedule(faultChain, faultIter, Cancel).WithCancel(cancel)
+	cfg := baseConfig(kind)
+	cfg.Progress = func(int) {} // lockstep: aligned prefixes after cancel
+	cfg.FaultHook = inj.Hook
+	factory := batchedSpecTargets(t, &cfg, m, true)
+	res := mcmc.RunContext(ctx, cfg, factory)
+
+	if inj.Fired(Cancel) != 1 {
+		t.Fatalf("cancel fired %d times", inj.Fired(Cancel))
+	}
+	if !res.Interrupted {
+		t.Fatal("canceled run not marked interrupted")
+	}
+	if len(res.Faults()) != 0 {
+		t.Fatalf("cancellation must not quarantine: %v", res.Faults())
+	}
+	if res.Iterations < faultIter || res.Iterations >= iterations {
+		t.Errorf("Iterations = %d, want in [%d, %d)", res.Iterations, faultIter, iterations)
+	}
+	specAccounting(t, res)
+}
+
+// testBatchedSpecWorkerLoss: an abrupt kill under the speculating batched
+// sampler honors the kill-once contract and quarantines nothing.
+func testBatchedSpecWorkerLoss(t *testing.T, kind mcmc.SamplerKind) {
+	m := newBatchGLM(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var kills int
+	inj := New(7).
+		Schedule(faultChain, faultIter, WorkerLoss).
+		Schedule(faultChain+1, faultIter, WorkerLoss)
+	inj.WithWorkerKill(func() {
+		kills++
+		cancel()
+	})
+	cfg := baseConfig(kind)
+	cfg.Progress = func(int) {} // lockstep: aligned prefixes after the kill
+	cfg.FaultHook = inj.Hook
+	factory := batchedSpecTargets(t, &cfg, m, true)
+	res := mcmc.RunContext(ctx, cfg, factory)
+
+	if kills != 1 {
+		t.Fatalf("worker kill invoked %d times, want exactly 1 (killOnce)", kills)
+	}
+	if !res.Interrupted {
+		t.Fatal("killed run not marked interrupted")
+	}
+	if len(res.Faults()) != 0 {
+		t.Fatalf("worker loss must not quarantine chains (the whole node died): %v", res.Faults())
+	}
+	specAccounting(t, res)
 }

@@ -14,8 +14,70 @@ import (
 // only — never draws — so it can be aggressive: long enough for
 // leapfrog-aligned HMC chains and same-depth NUTS subtrees to meet,
 // short enough that a straggling deep NUTS trajectory never stalls the
-// others noticeably.
+// others noticeably. Measurement note (BENCH_10): the timer is a safety
+// net, not the pacing mechanism — in steady state the rendezvous closes
+// through full sets and leave() flushes, so per-sweep timer churn is the
+// only cost and it is off the critical path at every chain count.
 const defaultCoalesceWait = 200 * time.Microsecond
+
+// specRingCap bounds each chain's prefetch ring: how far a speculative
+// shadow may run ahead of its committed chain, in gradient rows. The cap
+// is flow control, not a hint — a full ring pauses the shadow until the
+// chain consumes from the head — and bounds the memory at
+// 2*dim*8 bytes per entry and the worst-case discarded work at one ring
+// per chain per run.
+const specRingCap = 160
+
+// specEntry is one prefetched evaluation: the predicted position (the
+// cache key, compared bit-exactly, together with the step size it was
+// predicted at) and the fused-sweep result for it.
+type specEntry struct {
+	q, grad []float64
+	lp, eps float64
+}
+
+// specRing is a chain's FIFO prefetch cache. Entries are consumed in
+// order — the shadow is an exact replay, so the committed chain requests
+// exactly the ring's head next, or has diverged and the whole ring is
+// stale. Entry buffers are allocated lazily once and reused forever, so
+// the steady-state speculation path does not allocate.
+type specRing struct {
+	buf  []specEntry
+	head int
+	n    int
+}
+
+// reserveTail returns the next tail entry with buffers sized to dim, or
+// nil when the ring is full. The entry joins the FIFO only on commitTail.
+func (r *specRing) reserveTail(dim int) *specEntry {
+	if r.n == len(r.buf) {
+		return nil
+	}
+	e := &r.buf[(r.head+r.n)%len(r.buf)]
+	if e.q == nil {
+		e.q = make([]float64, dim)
+		e.grad = make([]float64, dim)
+	}
+	return e
+}
+
+// tail returns the reserved-but-uncommitted tail entry.
+func (r *specRing) tail() *specEntry { return &r.buf[(r.head+r.n)%len(r.buf)] }
+
+// commitTail publishes the reserved tail entry at the FIFO end.
+func (r *specRing) commitTail() { r.n++ }
+
+// pop drops the head entry (after a hit consumed it).
+func (r *specRing) pop() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+// flush empties the ring, keeping the allocated buffers for reuse.
+func (r *specRing) flush() {
+	r.head = 0
+	r.n = 0
+}
 
 // gradCoalescer is the per-round rendezvous of the batched lockstep
 // path. Chain workers submit gradient requests instead of evaluating
@@ -37,6 +99,21 @@ const defaultCoalesceWait = 200 * time.Microsecond
 //     (quarantining them via the runner's non-finite check) before
 //     re-raising on the submitter that ran the batch, so waiters are
 //     never stranded by a fault either.
+//
+// Speculative prefetch (Config.Speculate): chains that left the round
+// leave batch slots empty, and each carries a shadow predictor (an exact
+// replay of the sampler on a forked RNG — see hmcShadow/nutsShadow). When
+// a batch is about to run, empty slots are filled with the shadows' next
+// predicted positions; the fused results land in per-chain FIFO rings
+// keyed by (position bits, step size). A chain's next LogDensityGrad
+// first probes its ring head: a bit-exact key match returns the cached
+// value+gradient without a sweep; a mismatch flushes the ring silently
+// and the request proceeds through the rendezvous. Speculative rows
+// never trigger, delay, or expand a sweep's data pass — they only ride
+// sweeps that real requests already pay for — and the kernel batch
+// contract (results independent of batch composition) makes a hit
+// bit-identical to the evaluation it replaces, so draws are unchanged at
+// any parallelism, under faults, and across checkpoint/resume.
 type gradCoalescer struct {
 	eval func(qs, grads [][]float64, lps []float64)
 	wait time.Duration
@@ -58,6 +135,28 @@ type gradCoalescer struct {
 	lps     []float64 // per-chain results; stable until that chain's next submit
 	wake    []chan struct{}
 	timers  []*time.Timer
+
+	// Speculation state (all guarded by mu).
+	specOn     bool
+	dim        int
+	steppers   []stepper
+	eligible   []bool // chain left this round with a live shadow
+	specMember []bool // in-flight batch's speculative rows
+	rings      []specRing
+	noteSpec   func(int64) // optional kernel-layer accounting split
+
+	// Test-only (Config.specForceMissEvery): corrupt every Nth committed
+	// entry's eps key so the owner's probe must miss.
+	forceMissEvery int
+	specSeq        int64
+
+	// Accounting (guarded by mu; authoritative for Result.GradBatch).
+	sweeps      int64
+	realRows    int64
+	specRows    int64
+	specHits    int64
+	specMisses  int64
+	specDiscard int64
 }
 
 func newGradCoalescer(n int, eval func(qs, grads [][]float64, lps []float64), wait time.Duration) *gradCoalescer {
@@ -84,6 +183,22 @@ func newGradCoalescer(n int, eval func(qs, grads [][]float64, lps []float64), wa
 	return co
 }
 
+// enableSpeculation attaches the chain steppers' shadow predictors and
+// allocates the prefetch rings. Called once before the first round.
+func (co *gradCoalescer) enableSpeculation(steppers []stepper, dim int, note func(int64)) {
+	n := len(co.qs)
+	co.specOn = true
+	co.dim = dim
+	co.steppers = steppers
+	co.eligible = make([]bool, n)
+	co.specMember = make([]bool, n)
+	co.rings = make([]specRing, n)
+	for c := range co.rings {
+		co.rings[c].buf = make([]specEntry, specRingCap)
+	}
+	co.noteSpec = note
+}
+
 // arm opens a coalescing round over the chains marked active. Called by
 // the coordinator between rounds, when no worker is in flight.
 func (co *gradCoalescer) arm(active []bool) {
@@ -95,6 +210,14 @@ func (co *gradCoalescer) arm(active []bool) {
 	}
 	co.mu.Lock()
 	co.inRound = n
+	if co.specOn {
+		// Chains re-entering the round stop speculating until they leave
+		// again; their rings stay valid (the prefetched entries are the
+		// predictions they are about to consume).
+		for c := range co.eligible {
+			co.eligible[c] = false
+		}
+	}
 	co.mu.Unlock()
 	co.armed.Store(true)
 }
@@ -102,8 +225,21 @@ func (co *gradCoalescer) arm(active []bool) {
 // leave removes chain c from the round once its step completes or
 // faults. If every remaining in-round chain is already waiting, the
 // leaver flushes the batch on their behalf: nobody else can join it.
-func (co *gradCoalescer) leave(c int) {
+// spec marks the chain healthy and willing to speculate: its shadow is
+// (re)forked from the just-committed state, unless unconsumed prefetched
+// entries prove the existing shadow is still on track.
+func (co *gradCoalescer) leave(c int, spec bool) {
 	co.mu.Lock()
+	if co.specOn && spec {
+		if co.rings[c].n > 0 {
+			// The chain consumed its ring in order and entries remain:
+			// the shadow is paused mid-replay of a future iteration, and
+			// reforking would discard already-evaluated prefetches.
+			co.eligible[c] = true
+		} else {
+			co.eligible[c] = co.steppers[c].specReset()
+		}
+	}
 	co.inRound--
 	var pv any
 	if co.waiting > 0 && co.waiting == co.inRound && !co.running {
@@ -111,6 +247,66 @@ func (co *gradCoalescer) leave(c int) {
 	}
 	co.mu.Unlock()
 	_ = pv // a batch fault surfaces on its members as NaN; the leaver's own step already succeeded
+}
+
+// probe serves chain c's gradient request from its prefetch ring when
+// the ring head matches (position bits, step size) exactly. On a
+// mismatch the whole ring is stale — the shadow replays the committed
+// chain's exact future, so consumption is strictly in order — and is
+// discarded silently.
+func (co *gradCoalescer) probe(c int, q, grad []float64) (float64, bool) {
+	co.mu.Lock()
+	rg := &co.rings[c]
+	if rg.n == 0 {
+		co.mu.Unlock()
+		return 0, false
+	}
+	e := &rg.buf[rg.head]
+	if math.Float64bits(e.eps) == math.Float64bits(co.steppers[c].StepSize()) && qBitsEqual(e.q, q) {
+		lp := e.lp
+		copy(grad, e.grad)
+		rg.pop()
+		co.specHits++
+		co.mu.Unlock()
+		return lp, true
+	}
+	co.specMisses++
+	co.specDiscard += int64(rg.n)
+	rg.flush()
+	co.mu.Unlock()
+	return 0, false
+}
+
+// qBitsEqual compares two positions bit for bit (NaN payloads included):
+// the cache key contract is exact-replay identity, not numeric equality.
+func qBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// report drains the rings (leftover prefetches were never consumed) and
+// returns the run's batching accounting.
+func (co *gradCoalescer) report() *GradBatchReport {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for c := range co.rings {
+		co.specDiscard += int64(co.rings[c].n)
+		co.rings[c].flush()
+	}
+	return &GradBatchReport{
+		Sweeps:        co.sweeps,
+		RealRows:      co.realRows,
+		SpecRows:      co.specRows,
+		SpecCommitted: co.specHits,
+		SpecDiscarded: co.specDiscard,
+	}
 }
 
 // submit hands chain c's gradient request to the rendezvous and blocks
@@ -166,13 +362,114 @@ func (co *gradCoalescer) submit(c int, q, grad []float64) float64 {
 	}
 }
 
+// fillSpecLocked fills the assembling batch's empty slots with eligible
+// idle chains' next predicted positions. Each prediction reserves its
+// chain's ring tail entry — the fused sweep writes the gradient straight
+// into the cache buffer — and a full ring simply pauses that shadow.
+func (co *gradCoalescer) fillSpecLocked() int {
+	if !co.specOn {
+		return 0
+	}
+	n := 0
+	for c := range co.member {
+		if co.member[c] || !co.eligible[c] {
+			continue
+		}
+		e := co.rings[c].reserveTail(co.dim)
+		if e == nil {
+			continue
+		}
+		if !co.steppers[c].speculate(e.q) {
+			continue
+		}
+		e.eps = co.steppers[c].specStepSize()
+		co.specMember[c] = true
+		co.bqs[c] = e.q
+		co.bgrads[c] = e.grad
+		n++
+	}
+	return n
+}
+
+// settleSpecLocked finishes the batch's speculative rows: on a clean
+// sweep each entry is completed, published at its ring's FIFO end, and
+// fed back to the shadow so it can predict the next step; on a dropped
+// batch (fault retry) the reservations are released and the shadows
+// killed until their next fork.
+func (co *gradCoalescer) settleSpecLocked(nSpec int, dropped bool) {
+	if nSpec == 0 {
+		return
+	}
+	for c, sm := range co.specMember {
+		if !sm {
+			continue
+		}
+		co.specMember[c] = false
+		if dropped {
+			co.steppers[c].specAbort()
+			continue
+		}
+		e := co.rings[c].tail()
+		e.lp = co.lps[c]
+		co.rings[c].commitTail()
+		co.steppers[c].specFeed(e.lp, e.grad)
+		if co.forceMissEvery > 0 {
+			co.specSeq++
+			if co.specSeq%int64(co.forceMissEvery) == 0 {
+				// Test-only key corruption, applied after the shadow was
+				// fed the genuine result: the entry itself stays valid, but
+				// the probe's bit-exact key comparison must now fail.
+				e.eps = math.Float64frombits(math.Float64bits(e.eps) ^ 1)
+			}
+		}
+	}
+	if !dropped {
+		co.specRows += int64(nSpec)
+		if co.noteSpec != nil {
+			co.noteSpec(int64(nSpec))
+		}
+	}
+}
+
+// tryEval executes the fused evaluation, converting a panic to a value.
+func (co *gradCoalescer) tryEval() (pv any) {
+	defer func() { pv = recover() }()
+	co.eval(co.bqs, co.bgrads, co.lps)
+	return nil
+}
+
+// runEval executes the batch. A panic with speculative rows aboard gets
+// one retry without them: a fault inside a speculative evaluation must
+// quarantine nobody and poison nothing, so the speculation is simply
+// dropped and only a repeat failure is attributed to the real members.
+func (co *gradCoalescer) runEval(nSpec int) (pv any, evalsOK int, droppedSpec bool) {
+	pv = co.tryEval()
+	if pv == nil {
+		return nil, 1, false
+	}
+	if nSpec == 0 {
+		return pv, 0, false
+	}
+	for c, sm := range co.specMember {
+		if sm {
+			co.bqs[c] = nil
+			co.bgrads[c] = nil
+		}
+	}
+	pv = co.tryEval()
+	if pv == nil {
+		return nil, 1, true
+	}
+	return pv, 0, true
+}
+
 // runBatchLocked consumes every pending request and executes the fused
 // evaluation with the lock released, re-acquiring it before returning.
 // leader >= 0 marks the calling chain's own request: it is consumed with
 // the rest but the caller reads its result directly instead of being
 // woken. Loops while full sets of requests accumulated during the
 // evaluation (submitters that arrived mid-flight). A panic escaping the
-// evaluation is converted to NaN results for every member — the
+// evaluation is converted to NaN results for every real member — the
 // runner's non-finite check quarantines them — and returned for the
 // leader to re-raise.
 func (co *gradCoalescer) runBatchLocked(leader int) any {
@@ -190,14 +487,16 @@ func (co *gradCoalescer) runBatchLocked(leader int) any {
 			co.bgrads[c] = co.grads[c]
 			co.qs[c] = nil
 			co.grads[c] = nil
+			co.realRows++
 		}
 		co.waiting = 0
+		nSpec := co.fillSpecLocked()
 		co.mu.Unlock()
-		var pv any
-		func() {
-			defer func() { pv = recover() }()
-			co.eval(co.bqs, co.bgrads, co.lps)
-		}()
+		pv, evalsOK, droppedSpec := co.runEval(nSpec)
+		co.mu.Lock()
+		co.running = false
+		co.sweeps += int64(evalsOK)
+		co.settleSpecLocked(nSpec, droppedSpec || pv != nil)
 		if pv != nil {
 			for c, m := range co.member {
 				if m {
@@ -205,8 +504,6 @@ func (co *gradCoalescer) runBatchLocked(leader int) any {
 				}
 			}
 		}
-		co.mu.Lock()
-		co.running = false
 		for c, m := range co.member {
 			if m && c != leader {
 				co.wake[c] <- struct{}{}
@@ -244,6 +541,11 @@ func (t *coalescedTarget) LogDensity(q []float64) float64 {
 func (t *coalescedTarget) LogDensityGrad(q, grad []float64) float64 {
 	if !t.co.armed.Load() {
 		return t.inner.LogDensityGrad(q, grad)
+	}
+	if t.co.specOn {
+		if lp, ok := t.co.probe(t.c, q, grad); ok {
+			return lp
+		}
 	}
 	return t.co.submit(t.c, q, grad)
 }

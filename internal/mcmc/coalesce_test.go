@@ -178,7 +178,7 @@ func TestCoalescerFullSetFiresOnce(t *testing.T) {
 	}
 	wg.Wait()
 	for c := 0; c < 3; c++ {
-		co.leave(c)
+		co.leave(c, true)
 	}
 	if len(sizes) != 1 || sizes[0] != 3 {
 		t.Fatalf("batch sizes %v, want [3]", sizes)
@@ -219,10 +219,10 @@ func TestCoalescerLastLeaverFlushes(t *testing.T) {
 		}
 		time.Sleep(50 * time.Microsecond)
 	}
-	co.leave(2) // chain 2 needs no gradient this round: flush on its way out
+	co.leave(2, true) // chain 2 needs no gradient this round: flush on its way out
 	wg.Wait()
-	co.leave(0)
-	co.leave(1)
+	co.leave(0, true)
+	co.leave(1, true)
 	if len(sizes) != 1 || sizes[0] != 2 {
 		t.Fatalf("batch sizes %v, want [2]", sizes)
 	}
@@ -243,8 +243,8 @@ func TestCoalescerTimeoutPartialBatch(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Errorf("partial batch took %v — timer fallback not engaging", elapsed)
 	}
-	co.leave(0)
-	co.leave(1)
+	co.leave(0, true)
+	co.leave(1, true)
 	if len(sizes) != 1 || sizes[0] != 1 {
 		t.Fatalf("batch sizes %v, want [1]", sizes)
 	}
@@ -274,8 +274,8 @@ func TestCoalescerPanicQuarantine(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
-	co.leave(0)
-	co.leave(1)
+	co.leave(0, true)
+	co.leave(1, true)
 	panics, nans := 0, 0
 	for c := 0; c < 2; c++ {
 		if res[c].panic != nil {
@@ -307,12 +307,12 @@ func TestCoalescerRoundZeroAlloc(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		co.arm(active)
 		co.submit(0, q, g)
-		co.leave(0)
+		co.leave(0, true)
 	}
 	if avg := testing.AllocsPerRun(500, func() {
 		co.arm(active)
 		co.submit(0, q, g)
-		co.leave(0)
+		co.leave(0, true)
 	}); avg != 0 {
 		t.Errorf("coalescer round loop allocates %.1f per round, want 0", avg)
 	}

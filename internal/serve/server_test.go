@@ -429,3 +429,74 @@ func TestGradBatchOccupancy(t *testing.T) {
 		t.Fatalf("service mean occupancy %.2f < 1", stats.MeanBatchOccupancy)
 	}
 }
+
+// TestGradBatchSpeculation: a job with Speculate set fills empty batch
+// slots with prefetched gradients, reports the speculative split on its
+// status, produces draws bit-identical to the same spec without
+// speculation, and the service stats roll the split up.
+func TestGradBatchSpeculation(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueCap: 4, Predictor: testPredictor()})
+	spec := JobSpec{Workload: "12cities", Scale: 0.1, Iterations: 60, Chains: 4, Seed: 11, NoElide: true, Sampler: "hmc"}
+	plain, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, plain, 60*time.Second)
+
+	spec.Speculate = true
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, job, 60*time.Second)
+	if st.State != Done {
+		t.Fatalf("job ended %s (%s), want done", st.State, st.Error)
+	}
+	gb := st.GradBatch
+	if gb == nil {
+		t.Fatal("speculating job reported no gradient-batch stats")
+	}
+	if gb.SpecRows == 0 {
+		t.Fatal("speculation enabled but no rows speculated")
+	}
+	if gb.SpecCommitted+gb.SpecDiscarded != gb.SpecRows {
+		t.Fatalf("speculation accounting leak: %+v", gb)
+	}
+	if gb.SpecHitRate <= 0 || gb.SpecHitRate > 1 {
+		t.Fatalf("spec hit rate %.3f outside (0, 1]", gb.SpecHitRate)
+	}
+	if gb.EffectiveOccupancy < gb.MeanOccupancy {
+		t.Fatalf("effective occupancy %.2f below real occupancy %.2f",
+			gb.EffectiveOccupancy, gb.MeanOccupancy)
+	}
+
+	// Bit-identity: speculation must not change a single draw.
+	a, b := plain.Raw(), job.Raw()
+	if a == nil || b == nil {
+		t.Fatal("missing results")
+	}
+	for c := range a.Chains {
+		sa, sb := a.Chains[c].Samples, b.Chains[c].Samples
+		if sa.Len() != sb.Len() {
+			t.Fatalf("chain %d: %d vs %d draws", c, sa.Len(), sb.Len())
+		}
+		for i := 0; i < sa.Len(); i++ {
+			for d := 0; d < sa.Dim(); d++ {
+				if math.Float64bits(sa.At(i, d)) != math.Float64bits(sb.At(i, d)) {
+					t.Fatalf("speculation changed chain %d draw %d param %d: %v vs %v",
+						c, i, d, sa.At(i, d), sb.At(i, d))
+				}
+			}
+		}
+	}
+
+	stats := s.Stats()
+	if stats.SpecRows < gb.SpecRows || stats.SpecCommitted < gb.SpecCommitted {
+		t.Fatalf("stats rollup %d/%d below the job's own %d/%d",
+			stats.SpecRows, stats.SpecCommitted, gb.SpecRows, gb.SpecCommitted)
+	}
+	if stats.SpecHitRate <= 0 || stats.EffectiveBatchOccupancy < stats.MeanBatchOccupancy {
+		t.Fatalf("implausible service speculation stats: hit %.3f eff %.2f mean %.2f",
+			stats.SpecHitRate, stats.EffectiveBatchOccupancy, stats.MeanBatchOccupancy)
+	}
+}
